@@ -1,0 +1,302 @@
+package mmwalign
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/align"
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/channel"
+	"mmwalign/internal/covest"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/rng"
+)
+
+// Scheme names a beam-alignment strategy.
+type Scheme string
+
+// Available alignment schemes.
+const (
+	// SchemeProposed is the paper's learning-based scheme (Algorithm 1):
+	// covariance-estimation-guided beam selection.
+	SchemeProposed Scheme = "proposed"
+	// SchemeRandom sounds uniformly random pairs (baseline).
+	SchemeRandom Scheme = "random"
+	// SchemeScan sounds pairs in spatially adjacent order (baseline).
+	SchemeScan Scheme = "scan"
+	// SchemeExhaustive rasters over every pair.
+	SchemeExhaustive Scheme = "exhaustive"
+	// SchemeHierarchical descends a multi-resolution RX codebook.
+	SchemeHierarchical Scheme = "hierarchical"
+	// SchemeTwoSided is the future-work extension: the proposed scheme's
+	// RX machinery plus feedback-driven TX beam selection.
+	SchemeTwoSided Scheme = "two-sided"
+	// SchemeLocalRefine is the divide-and-conquer comparison baseline:
+	// random probing followed by hill-climbing on the beam grid.
+	SchemeLocalRefine Scheme = "local-refine"
+	// SchemeDigital is the fully-digital-receiver upper bound: vector
+	// snapshots and sample-covariance beam selection.
+	SchemeDigital Scheme = "digital"
+)
+
+// ChannelKind selects the propagation model.
+type ChannelKind int
+
+// Channel kinds.
+const (
+	// ChannelSinglePath is one specular path with random geometry — the
+	// paper's Fig. 5/7 scenario.
+	ChannelSinglePath ChannelKind = iota + 1
+	// ChannelNYCMultipath is the clustered multipath model with NYC
+	// 28 GHz statistics — the paper's Fig. 6/8 scenario.
+	ChannelNYCMultipath
+)
+
+// LinkSpec describes a simulated mmWave link. The zero value of every
+// field selects the paper's setting.
+type LinkSpec struct {
+	// TXPanelX, TXPanelZ are the transmit UPA dimensions (default 4×4).
+	TXPanelX, TXPanelZ int
+	// RXPanelX, RXPanelZ are the receive UPA dimensions (default 8×8).
+	RXPanelX, RXPanelZ int
+	// TXBeamsAz, TXBeamsEl shape the TX codebook grid (default 4×4,
+	// card(U) = 16).
+	TXBeamsAz, TXBeamsEl int
+	// RXBeamsAz, RXBeamsEl shape the RX codebook grid (default 8×8,
+	// card(V) = 64).
+	RXBeamsAz, RXBeamsEl int
+	// SNRdB is the pre-beamforming sounding SNR E_s/N₀ (default 0 dB).
+	SNRdB float64
+	// Snapshots is the number of fading+noise snapshots averaged per
+	// measurement (default 4).
+	Snapshots int
+	// Channel picks the propagation model (default ChannelSinglePath).
+	Channel ChannelKind
+	// Seed makes the link reproducible.
+	Seed int64
+}
+
+func (s LinkSpec) withDefaults() LinkSpec {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&s.TXPanelX, 4)
+	def(&s.TXPanelZ, 4)
+	def(&s.RXPanelX, 8)
+	def(&s.RXPanelZ, 8)
+	def(&s.TXBeamsAz, 4)
+	def(&s.TXBeamsEl, 4)
+	def(&s.RXBeamsAz, 8)
+	def(&s.RXBeamsEl, 8)
+	def(&s.Snapshots, 4)
+	if s.Channel == 0 {
+		s.Channel = ChannelSinglePath
+	}
+	return s
+}
+
+// AlignOptions tunes the proposed scheme. The zero value uses the
+// defaults of the reproduction.
+type AlignOptions struct {
+	// J is the number of RX measurements per TX slot (default 8).
+	J int
+	// Mu is the nuclear-norm regularization weight (default 1).
+	Mu float64
+	// Window bounds the estimation history (default 96 measurements).
+	Window int
+}
+
+// Result reports an alignment run.
+type Result struct {
+	// Scheme is the strategy that produced the result.
+	Scheme Scheme
+	// TXBeam and RXBeam are the selected codebook indices.
+	TXBeam, RXBeam int
+	// TXAzDeg, TXElDeg, RXAzDeg, RXElDeg are the selected steering
+	// angles in degrees.
+	TXAzDeg, TXElDeg, RXAzDeg, RXElDeg float64
+	// MeasuredSNRdB is the measured SNR of the selected pair — what the
+	// receiver can report.
+	MeasuredSNRdB float64
+	// TrueSNRdB is the ground-truth expected SNR of the selected pair.
+	TrueSNRdB float64
+	// OptimalSNRdB is the oracle-best pair's SNR.
+	OptimalSNRdB float64
+	// LossDB is OptimalSNRdB − TrueSNRdB, the paper's Eq. 31 metric.
+	LossDB float64
+	// Measurements is the number of pairs actually sounded.
+	Measurements int
+	// SearchRate is Measurements / TotalPairs, the paper's Eq. 32.
+	SearchRate float64
+	// LossTrajectoryDB[i] is the loss of the best pair found after i+1
+	// measurements (+Inf before the first codebook pair is sounded).
+	LossTrajectoryDB []float64
+}
+
+// Link is a simulated mmWave TX/RX pair ready for beam alignment.
+type Link struct {
+	spec LinkSpec
+	env  *align.Env
+	root *rng.Source
+	runs int
+}
+
+// NewLink builds a link from the spec, drawing the channel realization
+// from the spec's seed.
+func NewLink(spec LinkSpec) (*Link, error) {
+	spec = spec.withDefaults()
+	tx := antenna.NewUPA(spec.TXPanelX, spec.TXPanelZ)
+	rx := antenna.NewUPA(spec.RXPanelX, spec.RXPanelZ)
+	root := rng.New(spec.Seed)
+
+	var (
+		ch  *channel.Channel
+		err error
+	)
+	switch spec.Channel {
+	case ChannelSinglePath:
+		ch, err = channel.NewSinglePath(root.Split("channel"), tx, rx, channel.SinglePathSpec{})
+	case ChannelNYCMultipath:
+		ch, err = channel.NewNYCMultipath(root.Split("channel"), tx, rx, channel.DefaultNYC28())
+	default:
+		return nil, fmt.Errorf("mmwalign: unknown channel kind %d", spec.Channel)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mmwalign: building channel: %w", err)
+	}
+
+	sounder, err := meas.NewSounder(ch, channel.DBToLinear(spec.SNRdB), root.Split("noise"))
+	if err != nil {
+		return nil, fmt.Errorf("mmwalign: building sounder: %w", err)
+	}
+	sounder.SetSnapshots(spec.Snapshots)
+
+	env := &align.Env{
+		TXBook:  antenna.NewGridCodebook(tx, spec.TXBeamsAz, spec.TXBeamsEl, math.Pi, math.Pi/2),
+		RXBook:  antenna.NewGridCodebook(rx, spec.RXBeamsAz, spec.RXBeamsEl, math.Pi, math.Pi/2),
+		Sounder: sounder,
+		Src:     root.Split("strategy"),
+	}
+	return &Link{spec: spec, env: env, root: root}, nil
+}
+
+// TotalPairs returns T = card(U)·card(V) for this link.
+func (l *Link) TotalPairs() int { return l.env.TotalPairs() }
+
+// Spec returns the (defaulted) specification the link was built with.
+func (l *Link) Spec() LinkSpec { return l.spec }
+
+// Align runs the given scheme with the given measurement budget and
+// returns the selected beam pair with its quality metrics. Each call
+// sounds the same channel realization with fresh measurement noise and
+// fresh strategy randomness, so repeated calls (or different schemes)
+// are directly comparable.
+func (l *Link) Align(scheme Scheme, budget int, opts ...AlignOptions) (Result, error) {
+	var opt AlignOptions
+	if len(opts) > 1 {
+		return Result{}, fmt.Errorf("mmwalign: pass at most one AlignOptions")
+	}
+	if len(opts) == 1 {
+		opt = opts[0]
+	}
+	strat, err := l.strategy(scheme, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	l.runs++
+	runEnv := &align.Env{
+		TXBook:  l.env.TXBook,
+		RXBook:  l.env.RXBook,
+		Sounder: l.env.Sounder,
+		Src:     l.root.SplitIndexed("align-run", l.runs),
+	}
+	tr, err := align.Evaluate(runEnv, strat, budget)
+	if err != nil {
+		return Result{}, fmt.Errorf("mmwalign: %w", err)
+	}
+
+	txBeam := runEnv.TXBook.Beam(tr.BestPair.TX)
+	rxBeam := runEnv.RXBook.Beam(tr.BestPair.RX)
+	return Result{
+		Scheme:           scheme,
+		TXBeam:           tr.BestPair.TX,
+		RXBeam:           tr.BestPair.RX,
+		TXAzDeg:          txBeam.Dir.Az * 180 / math.Pi,
+		TXElDeg:          txBeam.Dir.El * 180 / math.Pi,
+		RXAzDeg:          rxBeam.Dir.Az * 180 / math.Pi,
+		RXElDeg:          rxBeam.Dir.El * 180 / math.Pi,
+		MeasuredSNRdB:    channel.LinearToDB(tr.BestMeasuredSNR),
+		TrueSNRdB:        channel.LinearToDB(tr.BestTrueSNR),
+		OptimalSNRdB:     channel.LinearToDB(tr.OptSNR),
+		LossDB:           tr.FinalLossDB(),
+		Measurements:     len(tr.LossDB),
+		SearchRate:       float64(len(tr.LossDB)) / float64(l.TotalPairs()),
+		LossTrajectoryDB: tr.LossDB,
+	}, nil
+}
+
+// OptimalSNRdB returns the oracle-best pair's true SNR in dB — useful
+// for computing losses of externally chosen pairs.
+func (l *Link) OptimalSNRdB() float64 {
+	_, snr := align.Oracle(l.env)
+	return channel.LinearToDB(snr)
+}
+
+func (l *Link) strategy(scheme Scheme, opt AlignOptions) (align.Strategy, error) {
+	switch scheme {
+	case SchemeRandom:
+		return align.RandomStrategy{}, nil
+	case SchemeScan:
+		return align.ScanStrategy{}, nil
+	case SchemeExhaustive:
+		return align.ExhaustiveStrategy{}, nil
+	case SchemeProposed:
+		if opt.J == 0 {
+			opt.J = 8
+		}
+		if opt.Mu == 0 {
+			opt.Mu = 1
+		}
+		if opt.Window == 0 {
+			opt.Window = 96
+		}
+		return align.NewProposed(align.ProposedConfig{
+			J:      opt.J,
+			Window: opt.Window,
+			Estimator: covest.Options{
+				Gamma:    channel.DBToLinear(l.spec.SNRdB),
+				Mu:       opt.Mu,
+				MaxIters: 25,
+			},
+		}), nil
+	case SchemeTwoSided:
+		if opt.J == 0 {
+			opt.J = 8
+		}
+		if opt.Mu == 0 {
+			opt.Mu = 1
+		}
+		if opt.Window == 0 {
+			opt.Window = 96
+		}
+		return align.NewTwoSided(align.ProposedConfig{
+			J:      opt.J,
+			Window: opt.Window,
+			Estimator: covest.Options{
+				Gamma:    channel.DBToLinear(l.spec.SNRdB),
+				Mu:       opt.Mu,
+				MaxIters: 25,
+			},
+		}), nil
+	case SchemeHierarchical:
+		return align.NewHierarchical(antenna.NewHierCodebook(l.env.RXBook, 2, 2)), nil
+	case SchemeLocalRefine:
+		return align.NewLocalRefine(), nil
+	case SchemeDigital:
+		return align.NewDigital(), nil
+	default:
+		return nil, fmt.Errorf("mmwalign: unknown scheme %q", scheme)
+	}
+}

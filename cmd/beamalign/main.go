@@ -1,0 +1,84 @@
+// Command beamalign runs a single beam-alignment experiment from the
+// command line and reports the selected pair and its quality.
+//
+// Usage:
+//
+//	beamalign -scheme proposed -budget 150 -channel multipath -seed 7
+//	beamalign -scheme random -rate 0.15 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mmwalign"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "beamalign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scheme    = flag.String("scheme", "proposed", "alignment scheme: proposed|random|scan|exhaustive|hierarchical")
+		budget    = flag.Int("budget", 0, "measurement budget in beam pairs (overrides -rate)")
+		rate      = flag.Float64("rate", 0.15, "measurement budget as a fraction of all pairs")
+		chKind    = flag.String("channel", "singlepath", "channel model: singlepath|multipath")
+		seed      = flag.Int64("seed", 1, "random seed")
+		snrDB     = flag.Float64("snr", 0, "pre-beamforming SNR Es/N0 in dB")
+		snapshots = flag.Int("snapshots", 4, "snapshots per measurement")
+		j         = flag.Int("j", 8, "measurements per TX slot (proposed)")
+		verbose   = flag.Bool("v", false, "print the loss trajectory")
+	)
+	flag.Parse()
+
+	spec := mmwalign.LinkSpec{Seed: *seed, SNRdB: *snrDB, Snapshots: *snapshots}
+	switch *chKind {
+	case "singlepath":
+		spec.Channel = mmwalign.ChannelSinglePath
+	case "multipath":
+		spec.Channel = mmwalign.ChannelNYCMultipath
+	default:
+		return fmt.Errorf("unknown channel %q", *chKind)
+	}
+
+	link, err := mmwalign.NewLink(spec)
+	if err != nil {
+		return err
+	}
+	b := *budget
+	if b == 0 {
+		b = int(math.Ceil(*rate * float64(link.TotalPairs())))
+	}
+
+	res, err := link.Align(mmwalign.Scheme(*scheme), b, mmwalign.AlignOptions{J: *j})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme:        %s\n", res.Scheme)
+	fmt.Printf("budget:        %d of %d pairs (%.1f%%)\n", res.Measurements, link.TotalPairs(), 100*res.SearchRate)
+	fmt.Printf("selected pair: TX beam %d (az %+.1f°, el %+.1f°), RX beam %d (az %+.1f°, el %+.1f°)\n",
+		res.TXBeam, res.TXAzDeg, res.TXElDeg, res.RXBeam, res.RXAzDeg, res.RXElDeg)
+	fmt.Printf("true SNR:      %.2f dB\n", res.TrueSNRdB)
+	fmt.Printf("optimal SNR:   %.2f dB\n", res.OptimalSNRdB)
+	fmt.Printf("SNR loss:      %.2f dB\n", res.LossDB)
+	if *verbose {
+		fmt.Println("\nloss trajectory (dB):")
+		for i, l := range res.LossTrajectoryDB {
+			if (i+1)%8 == 0 || i == len(res.LossTrajectoryDB)-1 {
+				if math.IsInf(l, 1) {
+					fmt.Printf("  after %4d measurements: (no pair yet)\n", i+1)
+				} else {
+					fmt.Printf("  after %4d measurements: %6.2f\n", i+1, l)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command beampattern prints antenna-array diagnostics: the azimuth
+// pattern cut of a steered beam as an ASCII plot, the half-power
+// beamwidth, the peak sidelobe level, and codebook coverage statistics.
+// Useful for sanity-checking array and codebook configurations before
+// running alignment experiments.
+//
+// Usage:
+//
+//	beampattern -nx 8 -nz 8 -az 20 -book 8x8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "beampattern:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nx     = flag.Int("nx", 8, "horizontal array elements")
+		nz     = flag.Int("nz", 8, "vertical array elements")
+		azDeg  = flag.Float64("az", 0, "steering azimuth in degrees")
+		elDeg  = flag.Float64("el", 0, "steering elevation in degrees")
+		book   = flag.String("book", "8x8", "codebook grid, e.g. 8x8")
+		detail = flag.Bool("coverage", true, "print codebook coverage stats")
+	)
+	flag.Parse()
+
+	ar := antenna.NewUPA(*nx, *nz)
+	dir := antenna.Direction{Az: *azDeg * math.Pi / 180, El: *elDeg * math.Pi / 180}
+	w := ar.Steering(dir)
+
+	fmt.Printf("array: %s, steered to az %.1f°, el %.1f°\n\n", ar, *azDeg, *elDeg)
+
+	cut := PatternSeries(ar, w, dir.El)
+	if err := metrics.PlotASCII(os.Stdout, "azimuth pattern cut (dB vs degrees)",
+		[]metrics.Series{cut}, 72, 16); err != nil {
+		return err
+	}
+
+	hpbw := antenna.HalfPowerBeamwidth(ar, w, dir.El) * 180 / math.Pi
+	psl := antenna.PeakSidelobeDB(ar, w, dir.El)
+	fmt.Printf("\nhalf-power beamwidth: %.2f°\n", hpbw)
+	fmt.Printf("peak sidelobe level:  %.1f dB\n", psl)
+
+	if *detail {
+		bAz, bEl, err := parseGrid(*book)
+		if err != nil {
+			return err
+		}
+		cb := antenna.NewGridCodebook(ar, bAz, bEl, math.Pi, math.Pi/2)
+		cov := antenna.Coverage(cb, 91, 19)
+		fmt.Printf("\ncodebook %s (%d beams):\n", *book, cb.Size())
+		fmt.Printf("  worst-direction gain: %.2f dB below matched beam\n", -cov.WorstGainDB)
+		fmt.Printf("  mean gain:            %.2f dB below matched beam\n", -cov.MeanGainDB)
+	}
+	return nil
+}
+
+// PatternSeries converts a pattern cut into a plottable series, clamping
+// the floor at −40 dB so nulls do not swamp the plot scale.
+func PatternSeries(ar antenna.Array, w cmat.Vector, el float64) metrics.Series {
+	cut := antenna.PatternCut(ar, w, el, 181)
+	s := metrics.Series{Name: "gain"}
+	for _, p := range cut {
+		g := p.GainDB
+		if g < -40 || math.IsInf(g, -1) {
+			g = -40
+		}
+		s.X = append(s.X, p.Az*180/math.Pi)
+		s.Y = append(s.Y, g)
+	}
+	return s
+}
+
+func parseGrid(s string) (int, int, error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad grid %q, want e.g. 8x8", s)
+	}
+	a, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad grid %q: %w", s, err)
+	}
+	b, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad grid %q: %w", s, err)
+	}
+	return a, b, nil
+}

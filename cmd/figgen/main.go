@@ -1,0 +1,137 @@
+// Command figgen regenerates the result figures of the paper
+// (Fig. 5–8) as CSV files and quick ASCII plots.
+//
+// Usage:
+//
+//	figgen -fig 5 -drops 100 -out fig5.csv
+//	figgen -all -drops 100 -outdir results/
+//
+// The output CSV has one row per sweep point and one column per scheme;
+// the same data is printed as an aligned table and an ASCII plot on
+// stdout so the figure shape can be checked without leaving the
+// terminal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mmwalign/internal/experiment"
+	"mmwalign/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig       = flag.Int("fig", 0, "paper figure to regenerate (5-8)")
+		all       = flag.Bool("all", false, "regenerate all figures")
+		drops     = flag.Int("drops", 100, "independent channel drops per point")
+		seed      = flag.Int64("seed", 1, "random seed")
+		gammaDB   = flag.Float64("gamma", 0, "pre-beamforming SNR Es/N0 in dB")
+		snapshots = flag.Int("snapshots", 4, "fading+noise snapshots per measurement")
+		j         = flag.Int("j", 8, "measurements per TX slot (proposed scheme)")
+		mu        = flag.Float64("mu", 1, "nuclear-norm regularization weight")
+		schemes   = flag.String("schemes", "", "comma-separated scheme list (default: random,scan,proposed)")
+		extended  = flag.Bool("extended", false, "include the extension schemes (two-sided, local-refine, hierarchical)")
+		out       = flag.String("out", "", "CSV output path (single figure; default stdout only)")
+		outdir    = flag.String("outdir", ".", "output directory for -all")
+		jsonOut   = flag.Bool("json", false, "also write a .json next to each CSV")
+	)
+	flag.Parse()
+
+	if !*all && (*fig < 5 || *fig > 8) {
+		return fmt.Errorf("pass -fig 5..8 or -all")
+	}
+
+	cfg := experiment.Config{
+		Seed:      *seed,
+		Drops:     *drops,
+		GammaDB:   *gammaDB,
+		Snapshots: *snapshots,
+		J:         *j,
+		Mu:        *mu,
+	}
+	if *schemes != "" {
+		cfg.Schemes = splitComma(*schemes)
+	} else if *extended {
+		cfg.Schemes = []string{"random", "scan", "proposed", "two-sided", "local-refine", "hierarchical"}
+	}
+
+	figs := []int{*fig}
+	if *all {
+		figs = []int{5, 6, 7, 8}
+	}
+	for _, f := range figs {
+		start := time.Now()
+		result, err := experiment.Generate(f, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s (%s) — %d drops, %v ==\n", result.ID, result.Title, *drops, time.Since(start).Round(time.Millisecond))
+		if err := metrics.WriteTable(os.Stdout, result.XLabel, result.Series); err != nil {
+			return err
+		}
+		if err := metrics.PlotASCII(os.Stdout, result.YLabel+" vs "+result.XLabel, result.Series, 64, 14); err != nil {
+			return err
+		}
+
+		path := *out
+		if *all || path == "" {
+			path = filepath.Join(*outdir, result.ID+".csv")
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		err = metrics.WriteCSV(fh, result.XLabel, result.Series)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+
+		if *jsonOut {
+			jpath := strings.TrimSuffix(path, filepath.Ext(path)) + ".json"
+			jf, err := os.Create(jpath)
+			if err != nil {
+				return fmt.Errorf("create %s: %w", jpath, err)
+			}
+			err = metrics.WriteJSON(jf, result.XLabel, result.Series)
+			if cerr := jf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("write %s: %w", jpath, err)
+			}
+			fmt.Printf("wrote %s\n", jpath)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

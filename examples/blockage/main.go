@@ -1,0 +1,62 @@
+// Blockage recovery: the signature mmWave failure mode. A human body or
+// vehicle crossing the beam attenuates the serving cluster by tens of
+// dB; the link must fall back to an alternative cluster — which only a
+// multipath-aware alignment scheme has learned about — and realign when
+// the blocker clears. This example steps a two-state blockage process
+// over the superframe simulation and prints the per-frame story.
+//
+//	go run ./examples/blockage
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mmwalign/internal/mac"
+)
+
+func main() {
+	cfg := mac.SuperframeConfig{
+		Link: mac.LinkConfig{
+			Scheme:    "proposed",
+			Multipath: true,
+			GammaDB:   5,
+		},
+		Superframes: 16,
+		TrainSlots:  64,
+		DataSlots:   448,
+		// Blockage arrives rarely but persists for a few frames.
+		Blockage: &mac.BlockageConfig{PBlock: 0.25, PUnblock: 0.4, AttenuationDB: 25},
+		Seed:     31,
+	}
+
+	stats, err := mac.RunSuperframes(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-superframe link quality under dynamic cluster blockage")
+	fmt.Println("(proposed scheme re-aligns every frame; 25 dB blockage depth)")
+	fmt.Printf("\n%-7s %-9s %-14s %-14s %-10s %s\n",
+		"frame", "blocked", "optimal (dB)", "achieved (dB)", "loss (dB)", "")
+	for _, f := range stats.Frames {
+		bar := strings.Repeat("#", clampInt(int(f.SelectedSNRDB/2), 0, 30))
+		fmt.Printf("%-7d %-9d %-14.1f %-14.1f %-10.2f %s\n",
+			f.Frame, f.BlockedClusters, f.OptimalSNRDB, f.SelectedSNRDB, f.LossDB, bar)
+	}
+	fmt.Printf("\nmean alignment loss: %.2f dB; protocol efficiency vs genie: %.0f%%\n",
+		stats.MeanLossDB, 100*stats.Efficiency)
+	fmt.Println("\nnote how the OPTIMAL SNR itself dips while clusters are blocked —")
+	fmt.Println("re-alignment tracks the surviving clusters instead of losing the link")
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,63 @@
+// Cell search: directional initial access in a multi-BS deployment —
+// the scenario that motivates the paper's introduction. A mobile scans
+// candidate base stations scattered around it, each behind an
+// independent LOS/NLOS/outage draw of the NYC 28 GHz path-loss model,
+// spends a small alignment budget per reachable BS, and associates with
+// the strongest measured beam.
+//
+//	go run ./examples/cellsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mmwalign/internal/mac"
+)
+
+func main() {
+	cfg := mac.CellSearchConfig{
+		Link: mac.LinkConfig{
+			Scheme:    "proposed",
+			Multipath: true,
+		},
+		NumBS:       5,
+		Radius:      150,
+		BudgetPerBS: 96,
+		Seed:        2022,
+	}
+
+	res, err := mac.RunCellSearch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("directional cell search over %d candidate base stations\n", cfg.NumBS)
+	fmt.Printf("(scheme %q, %d measurement slots per reachable BS)\n\n", cfg.Link.Scheme, cfg.BudgetPerBS)
+	fmt.Printf("%-4s %-9s %-7s %-11s %-13s %-10s\n", "BS", "dist (m)", "state", "γ (dB)", "beam SNR (dB)", "slots")
+	for _, bs := range res.PerBS {
+		gamma, snr := fmtDB(bs.GammaDB), fmtDB(bs.TrueSNRDB)
+		fmt.Printf("%-4d %-9.1f %-7s %-11s %-13s %-10d\n",
+			bs.Index, bs.DistanceM, bs.State, gamma, snr, bs.SlotsSpent)
+	}
+	fmt.Println()
+	if res.Associated < 0 {
+		fmt.Println("initial access FAILED: every candidate was in outage")
+		return
+	}
+	fmt.Printf("associated with BS %d at %.1f dB post-beamforming SNR after %d total slots\n",
+		res.Associated, res.AssociatedSNRDB, res.TotalSlots)
+	if res.FoundBestBS {
+		fmt.Println("the measured ranking picked the genuinely best base station")
+	} else {
+		fmt.Println("note: measured ranking picked a suboptimal base station this drop")
+	}
+}
+
+func fmtDB(v float64) string {
+	if math.IsInf(v, -1) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

@@ -1,0 +1,49 @@
+// Multi-user cell: training overhead scales with the number of served
+// mobiles, so efficient beam alignment directly buys cell capacity —
+// the argument of the paper's introduction. This example runs a
+// one-BS/four-UE cell under two schedulers and two alignment schemes
+// and prints cell throughput, efficiency against a zero-overhead genie,
+// and Jain fairness.
+//
+//	go run ./examples/multiuser
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmwalign/internal/mac"
+)
+
+func main() {
+	fmt.Println("one BS, 4 UEs, 32 training slots per UE per superframe,")
+	fmt.Println("512 shared data slots, drifting multipath channels")
+	fmt.Printf("\n%-12s %-14s %-12s %-12s %-10s\n",
+		"scheme", "scheduler", "cell bits", "efficiency", "fairness")
+
+	for _, scheme := range []string{"proposed", "random"} {
+		for _, sched := range []string{"round-robin", "max-rate"} {
+			cfg := mac.NetworkConfig{
+				Link: mac.LinkConfig{
+					Scheme:    scheme,
+					Multipath: true,
+					GammaDB:   0,
+				},
+				NumUEs:          4,
+				Superframes:     8,
+				TrainSlotsPerUE: 32,
+				DataSlots:       512,
+				Scheduler:       sched,
+				Seed:            77,
+			}
+			stats, err := mac.RunNetwork(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %-14s %-12.0f %-12.3f %-10.3f\n",
+				scheme, sched, stats.SumBits, stats.Efficiency, stats.Fairness)
+		}
+	}
+	fmt.Println("\nmax-rate trades fairness for throughput; the proposed scheme's")
+	fmt.Println("better beams lift every configuration's efficiency")
+}

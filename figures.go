@@ -1,0 +1,56 @@
+package mmwalign
+
+import (
+	"fmt"
+
+	"mmwalign/internal/experiment"
+)
+
+// FigureSeries is one curve of a reproduced paper figure.
+type FigureSeries struct {
+	// Name is the scheme the curve belongs to.
+	Name string
+	// X and Y are the sweep points.
+	X, Y []float64
+	// YErr holds the 95% confidence half-width per point.
+	YErr []float64
+}
+
+// FigureResult is a regenerated figure from the paper's evaluation.
+type FigureResult struct {
+	// ID is "fig5".."fig8".
+	ID string
+	// Title restates what the paper plots.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds one curve per scheme (random, scan, proposed by
+	// default).
+	Series []FigureSeries
+}
+
+// ReproduceFigure regenerates one of the paper's result figures (5–8)
+// at the paper's default configuration with the given number of
+// independent channel drops. Identical (figure, drops, seed) inputs
+// return identical results. Expect roughly a second of compute per drop
+// at the full problem size; the benchmark harness and cmd/figgen expose
+// the same generators with more knobs.
+func ReproduceFigure(figure, drops int, seed int64) (FigureResult, error) {
+	if drops <= 0 {
+		return FigureResult{}, fmt.Errorf("mmwalign: drops %d must be positive", drops)
+	}
+	fig, err := experiment.Generate(figure, experiment.Config{Seed: seed, Drops: drops})
+	if err != nil {
+		return FigureResult{}, fmt.Errorf("mmwalign: %w", err)
+	}
+	out := FigureResult{ID: fig.ID, Title: fig.Title, XLabel: fig.XLabel, YLabel: fig.YLabel}
+	for _, s := range fig.Series {
+		out.Series = append(out.Series, FigureSeries{
+			Name: s.Name,
+			X:    append([]float64(nil), s.X...),
+			Y:    append([]float64(nil), s.Y...),
+			YErr: append([]float64(nil), s.YErr...),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package mmwalign
+
+import "testing"
+
+func TestReproduceFigureValidation(t *testing.T) {
+	if _, err := ReproduceFigure(5, 0, 1); err == nil {
+		t.Error("zero drops accepted")
+	}
+	if _, err := ReproduceFigure(4, 1, 1); err == nil {
+		t.Error("figure 4 accepted (paper has 5-8)")
+	}
+}
+
+func TestReproduceFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction in -short mode")
+	}
+	fig, err := ReproduceFigure(5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig5" {
+		t.Errorf("ID = %q", fig.ID)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3 (random, scan, proposed)", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) || len(s.YErr) != len(s.Y) {
+			t.Errorf("series %s malformed: %d/%d/%d points", s.Name, len(s.X), len(s.Y), len(s.YErr))
+		}
+	}
+}
+
+func TestReproduceFigureDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction in -short mode")
+	}
+	a, err := ReproduceFigure(7, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReproduceFigure(7, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatal("identical inputs produced different figures")
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mmwalign
+
+go 1.22

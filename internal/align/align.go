@@ -1,0 +1,93 @@
+// Package align implements the beam-alignment core of the paper: the
+// measurement-budgeted search for a high-gain TX/RX beam pair over
+// analog beamforming codebooks. It provides the paper's proposed
+// learning-based strategy (Algorithm 1) alongside the Random and Scan
+// baselines of Sec. V, an exhaustive oracle, a hierarchical-codebook
+// strategy as an extension, and the trajectory runner that records the
+// SNR loss of the best pair found after every measurement — the raw
+// material for the paper's search-effectiveness (Fig. 5/6) and
+// cost-efficiency (Fig. 7/8) results.
+package align
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/rng"
+)
+
+// Pair identifies a TX/RX beam pair by codebook indices.
+type Pair struct {
+	// TX and RX are beam indices into the respective codebooks.
+	TX, RX int
+}
+
+// Env bundles everything a strategy may use during a run: the two
+// codebooks (the sets U and V), the sounder that takes measurements, and
+// a private randomness stream. Strategies must obtain channel information
+// exclusively through Env.Sounder measurements.
+type Env struct {
+	// TXBook and RXBook are the selectable beam sets.
+	TXBook, RXBook *antenna.Codebook
+	// Sounder performs pair measurements.
+	Sounder *meas.Sounder
+	// Src is the strategy's private randomness.
+	Src *rng.Source
+}
+
+// TotalPairs returns T = card(U)·card(V).
+func (e *Env) TotalPairs() int { return e.TXBook.Size() * e.RXBook.Size() }
+
+// MeasurePair sounds the pair p once.
+func (e *Env) MeasurePair(p Pair) meas.Measurement {
+	return e.Sounder.Measure(p.TX, p.RX,
+		e.TXBook.Beam(p.TX).Weights, e.RXBook.Beam(p.RX).Weights)
+}
+
+// Strategy is a beam-alignment scheme: given an environment and a
+// measurement budget it decides which pairs to sound and in what order.
+// Implementations must never sound the same pair twice (the paper's
+// no-repetition rule) and must take exactly min(budget, T) measurements.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Run executes the search and returns the measurements in the order
+	// they were taken.
+	Run(env *Env, budget int) ([]meas.Measurement, error)
+}
+
+// Oracle computes the ground-truth optimal pair (u_opt, v_opt) of
+// Eq. (2): the codebook pair maximizing the true expected SNR. It is
+// used only for evaluation.
+func Oracle(env *Env) (Pair, float64) {
+	best := Pair{TX: -1, RX: -1}
+	bestSNR := math.Inf(-1)
+	for t := 0; t < env.TXBook.Size(); t++ {
+		u := env.TXBook.Beam(t).Weights
+		for r := 0; r < env.RXBook.Size(); r++ {
+			v := env.RXBook.Beam(r).Weights
+			if snr := env.Sounder.TrueSNR(u, v); snr > bestSNR {
+				best, bestSNR = Pair{TX: t, RX: r}, snr
+			}
+		}
+	}
+	return best, bestSNR
+}
+
+// TrueSNROf returns the ground-truth expected SNR of a pair.
+func TrueSNROf(env *Env, p Pair) float64 {
+	return env.Sounder.TrueSNR(env.TXBook.Beam(p.TX).Weights, env.RXBook.Beam(p.RX).Weights)
+}
+
+// clampBudget applies the budget ≤ T rule shared by all strategies.
+func clampBudget(env *Env, budget int) (int, error) {
+	if budget <= 0 {
+		return 0, fmt.Errorf("align: budget %d must be positive", budget)
+	}
+	if t := env.TotalPairs(); budget > t {
+		return t, nil
+	}
+	return budget, nil
+}

@@ -1,0 +1,249 @@
+package align
+
+import (
+	"errors"
+	"fmt"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/covest"
+	"mmwalign/internal/meas"
+)
+
+// ProposedConfig configures the paper's learning-based strategy.
+type ProposedConfig struct {
+	// J is the number of RX measurements per TX slot (the paper's J).
+	// Default 8.
+	J int
+	// Estimator configures the covariance estimator. Gamma is filled
+	// from the sounder when zero.
+	Estimator covest.Options
+	// Window bounds how many recent observations feed each estimation
+	// (0 = use the full history). A bounded window keeps per-slot cost
+	// flat over long searches.
+	Window int
+	// AutoMuGrid, when non-empty, selects the regularization weight µ
+	// by holdout validation (covest.SelectMu) once enough measurements
+	// have accumulated, overriding Estimator.Mu. Adds one estimation per
+	// grid entry at selection time.
+	AutoMuGrid []float64
+}
+
+func (c ProposedConfig) withDefaults() ProposedConfig {
+	if c.J == 0 {
+		c.J = 8
+	}
+	return c
+}
+
+// ProposedStrategy is Algorithm 1 of the paper. Per TX slot i (TX beam
+// chosen randomly without pair repetition):
+//
+//  1. The receiver picks the J−1 RX beams with the largest vᴴQ̂v under
+//     the covariance estimate Q̂ carried over from the previous slot
+//     (randomly for the very first slot) and measures them.
+//  2. It re-estimates Q̂ from the accumulated energy measurements via the
+//     nuclear-norm-regularized ML of Sec. IV-A.
+//  3. The J-th measurement is taken on the best remaining beam under the
+//     fresh estimate (eigen-beamforming restricted to the codebook,
+//     Eq. 26).
+//
+// The final answer (extracted by the caller from the measurement record)
+// is the pair with the best measured SNR, Eq. (30).
+type ProposedStrategy struct {
+	cfg ProposedConfig
+}
+
+// NewProposed creates the strategy with the given configuration.
+func NewProposed(cfg ProposedConfig) *ProposedStrategy {
+	return &ProposedStrategy{cfg: cfg.withDefaults()}
+}
+
+// Name implements Strategy.
+func (s *ProposedStrategy) Name() string { return "proposed" }
+
+// Run implements Strategy.
+func (s *ProposedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+	budget, err := clampBudget(env, budget)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := s.cfg.Estimator
+	if opts.Gamma == 0 {
+		opts.Gamma = env.Sounder.Gamma()
+	}
+	est, err := covest.NewEstimator(env.RXBook.Array().Elements(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("align: proposed: %w", err)
+	}
+	muSelected := len(s.cfg.AutoMuGrid) == 0
+
+	nRX := env.RXBook.Size()
+	measured := make(map[Pair]bool, budget)
+	var out []meas.Measurement
+	var obs []covest.Observation
+	var qhat *cmat.Matrix
+
+	// Random TX visiting order, cycled if the budget outlasts one pass.
+	txOrder := env.Src.Perm(env.TXBook.Size())
+	slot := 0
+
+	take := func(p Pair) {
+		m := env.MeasurePair(p)
+		measured[p] = true
+		out = append(out, m)
+		obs = append(obs, covest.Observation{V: env.RXBook.Beam(p.RX).Weights, Energy: m.Energy})
+	}
+
+	for len(out) < budget {
+		tx := txOrder[slot%len(txOrder)]
+		slot++
+		avail := s.unmeasuredRX(measured, tx, nRX)
+		if len(avail) == 0 {
+			if slot > len(txOrder)*nRX {
+				break // everything measured
+			}
+			continue
+		}
+
+		// Phase 1: first J−1 measurements of the slot.
+		want := s.cfg.J - 1
+		if want < 1 {
+			want = 1
+		}
+		sel := s.selectBeams(env, qhat, avail, want)
+		for _, rx := range sel {
+			if len(out) == budget {
+				return out, nil
+			}
+			take(Pair{TX: tx, RX: rx})
+		}
+
+		// Phase 2: estimate Q̂ from the (windowed) history.
+		win := obs
+		if s.cfg.Window > 0 && len(obs) > s.cfg.Window {
+			win = obs[len(obs)-s.cfg.Window:]
+		}
+		// One-shot µ selection once enough data has accumulated.
+		if !muSelected && len(obs) >= 4*s.cfg.J {
+			mu, muErr := covest.SelectMu(env.RXBook.Array().Elements(), obs, opts, s.cfg.AutoMuGrid)
+			if muErr == nil {
+				opts.Mu = mu
+				if est2, e2 := covest.NewEstimator(env.RXBook.Array().Elements(), opts); e2 == nil {
+					est = est2
+				}
+			}
+			// On selection failure keep the configured µ; the search
+			// continues with its default regularization.
+			muSelected = true
+		}
+		q, _, estErr := est.Estimate(win, qhat)
+		switch {
+		case estErr == nil:
+			qhat = q
+		case errors.Is(estErr, cmat.ErrNoConvergence):
+			// Keep the previous estimate; the search degrades gracefully
+			// to its earlier knowledge rather than failing the run.
+		default:
+			return nil, fmt.Errorf("align: proposed estimation: %w", estErr)
+		}
+
+		// Phase 3: J-th measurement on the best remaining beam under the
+		// fresh estimate.
+		if len(out) == budget {
+			return out, nil
+		}
+		avail = s.unmeasuredRX(measured, tx, nRX)
+		if len(avail) == 0 {
+			continue
+		}
+		sel = s.selectBeams(env, qhat, avail, 1)
+		take(Pair{TX: tx, RX: sel[0]})
+	}
+	return out, nil
+}
+
+// unmeasuredRX lists RX beams not yet paired with tx.
+func (s *ProposedStrategy) unmeasuredRX(measured map[Pair]bool, tx, nRX int) []int {
+	var out []int
+	for rx := 0; rx < nRX; rx++ {
+		if !measured[Pair{TX: tx, RX: rx}] {
+			out = append(out, rx)
+		}
+	}
+	return out
+}
+
+// selectBeams picks k beams from avail: the top positive scorers under
+// vᴴQ̂v when an informative estimate exists, with random exploration
+// otherwise. Beams the estimate assigns (numerically) zero energy are
+// never preferred by index order — an all-zero Q̂ (common in early slots,
+// when the regularizer has thresholded everything away) must behave like
+// the paper's "random for the very first TX slot" rule, not like a
+// deterministic sweep of beam 0, 1, 2, ….
+func (s *ProposedStrategy) selectBeams(env *Env, qhat *cmat.Matrix, avail []int, k int) []int {
+	if k > len(avail) {
+		k = len(avail)
+	}
+	randomPick := func(from []int, n int) []int {
+		picked := env.Src.Perm(len(from))[:n]
+		out := make([]int, n)
+		for i, p := range picked {
+			out[i] = from[p]
+		}
+		return out
+	}
+	if qhat == nil {
+		return randomPick(avail, k)
+	}
+
+	type scored struct {
+		idx int
+		val float64
+	}
+	scores := make([]scored, len(avail))
+	var maxScore float64
+	for i, idx := range avail {
+		v := qhat.QuadForm(env.RXBook.Beam(idx).Weights)
+		scores[i] = scored{idx, v}
+		if v > maxScore {
+			maxScore = v
+		}
+	}
+	if maxScore <= 0 {
+		return randomPick(avail, k)
+	}
+	// Partial selection sort for the top-k positive scorers.
+	floor := 1e-9 * maxScore
+	out := make([]int, 0, k)
+	for n := 0; n < k; n++ {
+		best := n
+		for i := n + 1; i < len(scores); i++ {
+			if scores[i].val > scores[best].val {
+				best = i
+			}
+		}
+		scores[n], scores[best] = scores[best], scores[n]
+		if scores[n].val <= floor {
+			break // remaining beams carry no estimated energy
+		}
+		out = append(out, scores[n].idx)
+	}
+	if len(out) < k {
+		// Fill the remainder with random exploration over the rest.
+		taken := make(map[int]bool, len(out))
+		for _, idx := range out {
+			taken[idx] = true
+		}
+		var rest []int
+		for _, sc := range scores {
+			if !taken[sc.idx] {
+				rest = append(rest, sc.idx)
+			}
+		}
+		out = append(out, randomPick(rest, k-len(out))...)
+	}
+	return out
+}
+
+var _ Strategy = (*ProposedStrategy)(nil)

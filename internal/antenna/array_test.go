@@ -1,0 +1,146 @@
+package antenna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"mmwalign/internal/cmat"
+)
+
+func TestULASteeringUnitNorm(t *testing.T) {
+	a := NewULA(16)
+	for _, az := range []float64{-1.2, -0.5, 0, 0.3, 1.4} {
+		v := a.Steering(Direction{Az: az})
+		if math.Abs(v.Norm()-1) > 1e-12 {
+			t.Errorf("az=%g: ‖a‖ = %g, want 1", az, v.Norm())
+		}
+		if len(v) != 16 {
+			t.Fatalf("len = %d", len(v))
+		}
+	}
+}
+
+func TestULABoresightAllEqualPhase(t *testing.T) {
+	a := NewULA(8)
+	v := a.Steering(Direction{})
+	for i := 1; i < len(v); i++ {
+		if cmplx.Abs(v[i]-v[0]) > 1e-14 {
+			t.Fatalf("boresight element %d differs: %v vs %v", i, v[i], v[0])
+		}
+	}
+}
+
+func TestULASteeringPhaseProgression(t *testing.T) {
+	a := NewULA(4)
+	az := 0.7
+	v := a.Steering(Direction{Az: az})
+	wantStep := 2 * math.Pi * 0.5 * math.Sin(az)
+	for i := 1; i < len(v); i++ {
+		step := cmplx.Phase(v[i] / v[i-1])
+		if math.Abs(angleDiff(step, wantStep)) > 1e-12 {
+			t.Fatalf("phase step %g, want %g", step, wantStep)
+		}
+	}
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b+3*math.Pi, 2*math.Pi) - math.Pi
+	return d
+}
+
+func TestUPASteeringUnitNormProperty(t *testing.T) {
+	a := NewUPA(4, 4)
+	f := func(az, el float64) bool {
+		az = math.Mod(az, math.Pi/2)
+		el = math.Mod(el, math.Pi/4)
+		if math.IsNaN(az) || math.IsNaN(el) {
+			return true
+		}
+		v := a.Steering(Direction{Az: az, El: el})
+		return math.Abs(v.Norm()-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUPAElements(t *testing.T) {
+	if got := NewUPA(4, 8).Elements(); got != 32 {
+		t.Errorf("Elements = %d, want 32", got)
+	}
+}
+
+func TestUPAMatchesULAForSingleRow(t *testing.T) {
+	// A 1-row UPA is a ULA at zero elevation.
+	upa := NewUPA(8, 1)
+	ula := NewULA(8)
+	for _, az := range []float64{-0.8, 0, 0.6} {
+		u := upa.Steering(Direction{Az: az})
+		l := ula.Steering(Direction{Az: az})
+		if !u.ApproxEqual(l, 1e-12) {
+			t.Errorf("az=%g: UPA row != ULA", az)
+		}
+	}
+}
+
+func TestGainMaximalAtMatchedDirection(t *testing.T) {
+	a := NewUPA(4, 4)
+	target := Direction{Az: 0.4, El: -0.1}
+	w := a.Steering(target)
+	gMatch := Gain(a, w, target)
+	if math.Abs(gMatch-1) > 1e-12 {
+		t.Errorf("matched gain = %g, want 1", gMatch)
+	}
+	// Any other direction must not beat the matched one.
+	for _, d := range []Direction{{0, 0}, {0.9, 0}, {0.4, 0.5}, {-0.4, -0.1}} {
+		if g := Gain(a, w, d); g > gMatch+1e-12 {
+			t.Errorf("gain toward %+v = %g exceeds matched gain", d, g)
+		}
+	}
+}
+
+func TestGainDecaysOffBeam(t *testing.T) {
+	a := NewULA(16)
+	w := a.Steering(Direction{Az: 0})
+	// Far off the main lobe the gain of a 16-element ULA should be well
+	// below half power.
+	if g := Gain(a, w, Direction{Az: 0.8}); g > 0.2 {
+		t.Errorf("off-beam gain = %g, want < 0.2", g)
+	}
+}
+
+func TestSteeringVectorsDistinguishDirections(t *testing.T) {
+	a := NewUPA(8, 8)
+	v1 := a.Steering(Direction{Az: 0.2})
+	v2 := a.Steering(Direction{Az: -0.2})
+	if v1.ApproxEqual(v2, 1e-6) {
+		t.Error("distinct directions produced identical steering vectors")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	if NewULA(4).String() == "" || NewUPA(2, 3).String() == "" {
+		t.Error("empty String() output")
+	}
+}
+
+// Steering vectors of a λ/2 ULA sampled at DFT angles must be mutually
+// orthogonal — the fundamental property the DFT codebook relies on.
+func TestDFTAngleOrthogonality(t *testing.T) {
+	n := 8
+	a := NewULA(n)
+	vecs := make([]cmat.Vector, n)
+	for k := 0; k < n; k++ {
+		sinAz := (2*float64(k)/float64(n) - 1)
+		vecs[k] = a.Steering(Direction{Az: math.Asin(sinAz)})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ip := cmplx.Abs(vecs[i].Dot(vecs[j])); ip > 1e-10 {
+				t.Errorf("beams %d,%d inner product %g, want 0", i, j, ip)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/cmat"
+)
+
+// Beam is one entry of a beamforming codebook: a unit-norm weight vector
+// together with the steering direction it was synthesized for and its
+// grid coordinates (used for spatial adjacency).
+type Beam struct {
+	// Index is the position of the beam in its codebook.
+	Index int
+	// Weights is the unit-norm analog beamforming vector.
+	Weights cmat.Vector
+	// Dir is the nominal steering direction.
+	Dir Direction
+	// GridAz and GridEl locate the beam on the codebook's angular grid.
+	GridAz, GridEl int
+}
+
+// Codebook is a finite set of selectable beams — the set U (or V) of the
+// paper — laid out on an azimuth×elevation grid so that "spatially
+// adjacent" is well defined.
+type Codebook struct {
+	beams  []Beam
+	nAz    int
+	nEl    int
+	array  Array
+	labels string
+}
+
+// NewGridCodebook builds a codebook of nAz×nEl steering beams that
+// uniformly tile azimuth ∈ [−azSpan/2, +azSpan/2] and elevation ∈
+// [−elSpan/2, +elSpan/2] (spans in radians, grid points at cell centers).
+// Panics if nAz or nEl is not positive.
+func NewGridCodebook(ar Array, nAz, nEl int, azSpan, elSpan float64) *Codebook {
+	if nAz <= 0 || nEl <= 0 {
+		panic(fmt.Sprintf("antenna: codebook grid %dx%d must be positive", nAz, nEl))
+	}
+	cb := &Codebook{
+		nAz:    nAz,
+		nEl:    nEl,
+		array:  ar,
+		labels: fmt.Sprintf("grid-%dx%d over %s", nAz, nEl, ar),
+	}
+	for e := 0; e < nEl; e++ {
+		for a := 0; a < nAz; a++ {
+			dir := Direction{
+				Az: gridAngle(a, nAz, azSpan),
+				El: gridAngle(e, nEl, elSpan),
+			}
+			cb.beams = append(cb.beams, Beam{
+				Index:   len(cb.beams),
+				Weights: ar.Steering(dir),
+				Dir:     dir,
+				GridAz:  a,
+				GridEl:  e,
+			})
+		}
+	}
+	return cb
+}
+
+// gridAngle places grid index i of n cells at the cell center of a span
+// centered on zero.
+func gridAngle(i, n int, span float64) float64 {
+	if n == 1 {
+		return 0
+	}
+	cell := span / float64(n)
+	return -span/2 + cell*(float64(i)+0.5)
+}
+
+// NewDFTCodebook builds the classic DFT codebook for a ULA: n beams whose
+// spatial frequencies uniformly tile [−π, π). DFT beams are mutually
+// orthogonal and cover the whole visible region.
+func NewDFTCodebook(a ULA) *Codebook {
+	cb := &Codebook{nAz: a.N, nEl: 1, array: a, labels: fmt.Sprintf("dft-%d over %s", a.N, a)}
+	for k := 0; k < a.N; k++ {
+		// Spatial frequency 2π·d·sin(az) = 2π·k/N − π  (wrapped).
+		f := 2*math.Pi*float64(k)/float64(a.N) - math.Pi
+		sinAz := f / (2 * math.Pi * a.Spacing)
+		if sinAz > 1 {
+			sinAz = 1
+		}
+		if sinAz < -1 {
+			sinAz = -1
+		}
+		dir := Direction{Az: math.Asin(sinAz)}
+		cb.beams = append(cb.beams, Beam{
+			Index:   k,
+			Weights: a.Steering(dir),
+			Dir:     dir,
+			GridAz:  k,
+			GridEl:  0,
+		})
+	}
+	return cb
+}
+
+// Size returns the number of beams, card(U) in the paper's notation.
+func (c *Codebook) Size() int { return len(c.beams) }
+
+// Beam returns the i-th beam. Panics if i is out of range.
+func (c *Codebook) Beam(i int) Beam {
+	if i < 0 || i >= len(c.beams) {
+		panic(fmt.Sprintf("antenna: beam index %d out of range [0,%d)", i, len(c.beams)))
+	}
+	return c.beams[i]
+}
+
+// Beams returns a copy of the beam list.
+func (c *Codebook) Beams() []Beam {
+	out := make([]Beam, len(c.beams))
+	copy(out, c.beams)
+	return out
+}
+
+// Array returns the geometry the codebook was built for.
+func (c *Codebook) Array() Array { return c.array }
+
+// GridShape returns the azimuth×elevation grid dimensions.
+func (c *Codebook) GridShape() (nAz, nEl int) { return c.nAz, c.nEl }
+
+// Neighbors returns the indices of beams spatially adjacent to beam i on
+// the angular grid (4-connectivity; no wrap-around). This defines the
+// order constraint used by the Scan baseline.
+func (c *Codebook) Neighbors(i int) []int {
+	b := c.Beam(i)
+	var out []int
+	type step struct{ da, de int }
+	for _, s := range []step{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		a, e := b.GridAz+s.da, b.GridEl+s.de
+		if a < 0 || a >= c.nAz || e < 0 || e >= c.nEl {
+			continue
+		}
+		out = append(out, e*c.nAz+a)
+	}
+	return out
+}
+
+// SnakeOrder returns all beam indices in boustrophedon (snake) order over
+// the grid: left-to-right on even elevation rows, right-to-left on odd
+// rows. Every consecutive pair in the result is spatially adjacent, which
+// makes it the canonical raster for the Scan baseline.
+func (c *Codebook) SnakeOrder() []int {
+	out := make([]int, 0, len(c.beams))
+	for e := 0; e < c.nEl; e++ {
+		if e%2 == 0 {
+			for a := 0; a < c.nAz; a++ {
+				out = append(out, e*c.nAz+a)
+			}
+		} else {
+			for a := c.nAz - 1; a >= 0; a-- {
+				out = append(out, e*c.nAz+a)
+			}
+		}
+	}
+	return out
+}
+
+// BestQuadForm returns the beam index maximizing the quadratic form
+// wᴴ·Q·w over the codebook, together with the achieved value. This is the
+// eigen-beam selection rule of the paper (Eq. 26) restricted to the
+// codebook. Panics if Q's dimension differs from the array size.
+func (c *Codebook) BestQuadForm(q *cmat.Matrix) (int, float64) {
+	best, bestVal := -1, math.Inf(-1)
+	for i := range c.beams {
+		v := q.QuadForm(c.beams[i].Weights)
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best, bestVal
+}
+
+// TopKQuadForm returns the indices of the k beams with the largest
+// quadratic form wᴴ·Q·w, in descending order. If k exceeds the codebook
+// size the whole codebook is returned. Used for the "pick the (J−1)
+// largest vᴴQ̂v directions" rule (Sec. IV-B2).
+func (c *Codebook) TopKQuadForm(q *cmat.Matrix, k int) []int {
+	type scored struct {
+		idx int
+		val float64
+	}
+	scoredBeams := make([]scored, len(c.beams))
+	for i := range c.beams {
+		scoredBeams[i] = scored{i, q.QuadForm(c.beams[i].Weights)}
+	}
+	// Partial selection sort: k is small (J−1 ≈ a handful).
+	if k > len(scoredBeams) {
+		k = len(scoredBeams)
+	}
+	out := make([]int, 0, k)
+	for n := 0; n < k; n++ {
+		best := n
+		for i := n + 1; i < len(scoredBeams); i++ {
+			if scoredBeams[i].val > scoredBeams[best].val {
+				best = i
+			}
+		}
+		scoredBeams[n], scoredBeams[best] = scoredBeams[best], scoredBeams[n]
+		out = append(out, scoredBeams[n].idx)
+	}
+	return out
+}
+
+// String describes the codebook.
+func (c *Codebook) String() string { return c.labels }

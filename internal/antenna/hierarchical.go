@@ -1,0 +1,171 @@
+package antenna
+
+import (
+	"fmt"
+
+	"mmwalign/internal/cmat"
+)
+
+// HierBeam is a node in a hierarchical (multi-resolution) codebook: a
+// beam covering an angular sector, with children covering sub-sectors.
+type HierBeam struct {
+	// Weights is the unit-norm composite beamforming vector for the
+	// sector.
+	Weights cmat.Vector
+	// Center is the sector's central direction.
+	Center Direction
+	// AzLo, AzHi, ElLo, ElHi delimit the covered sector in radians.
+	AzLo, AzHi, ElLo, ElHi float64
+	// Children are the finer-resolution beams refining this sector;
+	// empty at the finest level.
+	Children []*HierBeam
+	// LeafIndex is the index of the matching beam in the flat codebook
+	// when this node is a leaf, else -1.
+	LeafIndex int
+}
+
+// HierCodebook is a multi-level beam codebook in the style of Hur et al.
+// ("adaptive subspace sampling and hierarchical beam codebooks"): level 0
+// holds a few wide sector beams; each subsequent level splits every
+// sector in two along its wider angular axis until individual codewords
+// of the underlying flat codebook are reached.
+type HierCodebook struct {
+	// Roots are the level-0 sector beams.
+	Roots []*HierBeam
+	// Flat is the finest-resolution codebook the hierarchy refines into.
+	Flat *Codebook
+}
+
+// NewHierCodebook builds a hierarchy over the given flat grid codebook
+// with the requested branching at the top level (rootsAz×rootsEl wide
+// sectors). Wide beams are synthesized as the normalized average of the
+// member steering vectors, the standard sector-beam approximation for
+// analog arrays. Panics if the root grid is not positive.
+func NewHierCodebook(flat *Codebook, rootsAz, rootsEl int) *HierCodebook {
+	if rootsAz <= 0 || rootsEl <= 0 {
+		panic(fmt.Sprintf("antenna: hierarchical roots %dx%d must be positive", rootsAz, rootsEl))
+	}
+	nAz, nEl := flat.GridShape()
+	if rootsAz > nAz {
+		rootsAz = nAz
+	}
+	if rootsEl > nEl {
+		rootsEl = nEl
+	}
+	h := &HierCodebook{Flat: flat}
+	for re := 0; re < rootsEl; re++ {
+		for ra := 0; ra < rootsAz; ra++ {
+			azLo := ra * nAz / rootsAz
+			azHi := (ra + 1) * nAz / rootsAz
+			elLo := re * nEl / rootsEl
+			elHi := (re + 1) * nEl / rootsEl
+			if azHi <= azLo || elHi <= elLo {
+				continue
+			}
+			h.Roots = append(h.Roots, h.buildSector(azLo, azHi, elLo, elHi))
+		}
+	}
+	return h
+}
+
+// buildSector constructs the node covering grid cells
+// [azLo, azHi)×[elLo, elHi) and recursively splits it.
+func (h *HierCodebook) buildSector(azLo, azHi, elLo, elHi int) *HierBeam {
+	nAz, _ := h.Flat.GridShape()
+	node := &HierBeam{LeafIndex: -1}
+
+	// Composite weights: normalized sum of member steering vectors.
+	sum := cmat.NewVector(h.Flat.Array().Elements())
+	count := 0
+	var azAngles, elAngles []float64
+	for e := elLo; e < elHi; e++ {
+		for a := azLo; a < azHi; a++ {
+			b := h.Flat.Beam(e*nAz + a)
+			sum = sum.Add(b.Weights)
+			azAngles = append(azAngles, b.Dir.Az)
+			elAngles = append(elAngles, b.Dir.El)
+			count++
+		}
+	}
+	if count == 0 {
+		return node
+	}
+	node.Weights = sum.Normalize()
+	node.AzLo, node.AzHi = minMax(azAngles)
+	node.ElLo, node.ElHi = minMax(elAngles)
+	node.Center = Direction{Az: (node.AzLo + node.AzHi) / 2, El: (node.ElLo + node.ElHi) / 2}
+
+	if count == 1 {
+		node.LeafIndex = elLo*nAz + azLo
+		return node
+	}
+	// Split along the wider grid axis.
+	if azHi-azLo >= elHi-elLo {
+		mid := (azLo + azHi) / 2
+		node.Children = append(node.Children,
+			h.buildSector(azLo, mid, elLo, elHi),
+			h.buildSector(mid, azHi, elLo, elHi))
+	} else {
+		mid := (elLo + elHi) / 2
+		node.Children = append(node.Children,
+			h.buildSector(azLo, azHi, elLo, mid),
+			h.buildSector(azLo, azHi, mid, elHi))
+	}
+	return node
+}
+
+// Depth returns the number of levels in the hierarchy (1 for roots that
+// are already leaves).
+func (h *HierCodebook) Depth() int {
+	var walk func(n *HierBeam) int
+	walk = func(n *HierBeam) int {
+		best := 1
+		for _, c := range n.Children {
+			if d := 1 + walk(c); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	depth := 0
+	for _, r := range h.Roots {
+		if d := walk(r); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// LeafCount returns the number of leaves, which must equal the flat
+// codebook size.
+func (h *HierCodebook) LeafCount() int {
+	var walk func(n *HierBeam) int
+	walk = func(n *HierBeam) int {
+		if len(n.Children) == 0 {
+			return 1
+		}
+		total := 0
+		for _, c := range n.Children {
+			total += walk(c)
+		}
+		return total
+	}
+	total := 0
+	for _, r := range h.Roots {
+		total += walk(r)
+	}
+	return total
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

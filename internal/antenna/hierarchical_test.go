@@ -1,0 +1,129 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHierCodebookLeafCountMatchesFlat(t *testing.T) {
+	flat := testCodebook() // 8x4 = 32 beams
+	h := NewHierCodebook(flat, 2, 2)
+	if got := h.LeafCount(); got != flat.Size() {
+		t.Errorf("LeafCount = %d, want %d", got, flat.Size())
+	}
+}
+
+func TestHierCodebookRootCount(t *testing.T) {
+	flat := testCodebook()
+	h := NewHierCodebook(flat, 2, 2)
+	if len(h.Roots) != 4 {
+		t.Errorf("roots = %d, want 4", len(h.Roots))
+	}
+}
+
+func TestHierCodebookRootsClampedToGrid(t *testing.T) {
+	flat := NewGridCodebook(NewULA(4), 4, 1, math.Pi, 0)
+	h := NewHierCodebook(flat, 8, 8) // more roots than cells
+	if got := h.LeafCount(); got != flat.Size() {
+		t.Errorf("LeafCount = %d, want %d", got, flat.Size())
+	}
+}
+
+func TestHierCodebookWeightsUnitNorm(t *testing.T) {
+	h := NewHierCodebook(testCodebook(), 2, 2)
+	var walk func(n *HierBeam)
+	walk = func(n *HierBeam) {
+		if nrm := n.Weights.Norm(); math.Abs(nrm-1) > 1e-10 {
+			t.Errorf("sector weight norm = %g", nrm)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range h.Roots {
+		walk(r)
+	}
+}
+
+func TestHierCodebookLeavesMapToFlatBeams(t *testing.T) {
+	flat := testCodebook()
+	h := NewHierCodebook(flat, 2, 2)
+	seen := make(map[int]bool)
+	var walk func(n *HierBeam)
+	walk = func(n *HierBeam) {
+		if len(n.Children) == 0 {
+			if n.LeafIndex < 0 || n.LeafIndex >= flat.Size() {
+				t.Fatalf("leaf index %d out of range", n.LeafIndex)
+			}
+			if seen[n.LeafIndex] {
+				t.Fatalf("leaf %d appears twice", n.LeafIndex)
+			}
+			seen[n.LeafIndex] = true
+			if !n.Weights.ApproxEqual(flat.Beam(n.LeafIndex).Weights, 1e-10) {
+				t.Errorf("leaf %d weights differ from flat codeword", n.LeafIndex)
+			}
+			return
+		}
+		if n.LeafIndex != -1 {
+			t.Errorf("internal node has leaf index %d", n.LeafIndex)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range h.Roots {
+		walk(r)
+	}
+	if len(seen) != flat.Size() {
+		t.Errorf("leaves cover %d of %d flat beams", len(seen), flat.Size())
+	}
+}
+
+func TestHierCodebookDepth(t *testing.T) {
+	flat := testCodebook() // 8x4 grid, 2x2 roots → sectors of 4x2 cells → 3 splits
+	h := NewHierCodebook(flat, 2, 2)
+	if d := h.Depth(); d != 4 {
+		t.Errorf("Depth = %d, want 4 (sector 4x2 → 2x2 → 1x2 → 1x1)", d)
+	}
+}
+
+func TestHierCodebookSectorContainment(t *testing.T) {
+	h := NewHierCodebook(testCodebook(), 2, 2)
+	var walk func(n *HierBeam)
+	walk = func(n *HierBeam) {
+		for _, c := range n.Children {
+			if c.AzLo < n.AzLo-1e-12 || c.AzHi > n.AzHi+1e-12 ||
+				c.ElLo < n.ElLo-1e-12 || c.ElHi > n.ElHi+1e-12 {
+				t.Errorf("child sector [%g,%g]x[%g,%g] escapes parent [%g,%g]x[%g,%g]",
+					c.AzLo, c.AzHi, c.ElLo, c.ElHi, n.AzLo, n.AzHi, n.ElLo, n.ElHi)
+			}
+			walk(c)
+		}
+	}
+	for _, r := range h.Roots {
+		walk(r)
+	}
+}
+
+func TestHierCodebookWideBeamCoversSector(t *testing.T) {
+	// The root sector beam should have higher gain toward its own sector
+	// center than toward the opposite sector's center.
+	flat := testCodebook()
+	h := NewHierCodebook(flat, 2, 1)
+	left, right := h.Roots[0], h.Roots[1]
+	ar := flat.Array()
+	gOwn := Gain(ar, left.Weights, left.Center)
+	gOther := Gain(ar, left.Weights, right.Center)
+	if gOwn <= gOther {
+		t.Errorf("sector beam gain own=%g other=%g", gOwn, gOther)
+	}
+}
+
+func TestHierCodebookPanicsOnBadRoots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHierCodebook(testCodebook(), 0, 1)
+}

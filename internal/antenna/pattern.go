@@ -1,0 +1,165 @@
+package antenna
+
+import (
+	"math"
+
+	"mmwalign/internal/cmat"
+)
+
+// PatternPoint is one sample of a beam pattern cut.
+type PatternPoint struct {
+	// Az is the azimuth of the sample in radians.
+	Az float64
+	// GainDB is the beamforming power gain toward (Az, elevation of the
+	// cut) in dB relative to an isotropic unit-norm combiner.
+	GainDB float64
+}
+
+// PatternCut samples the power pattern of weight vector w on array ar
+// along an azimuth sweep [−π/2, π/2] at fixed elevation el, with n
+// uniformly spaced samples. Panics if n < 2 (delegated bounds come from
+// the gain evaluation).
+func PatternCut(ar Array, w cmat.Vector, el float64, n int) []PatternPoint {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]PatternPoint, n)
+	for i := 0; i < n; i++ {
+		az := -math.Pi/2 + math.Pi*float64(i)/float64(n-1)
+		g := Gain(ar, w, Direction{Az: az, El: el})
+		gdB := math.Inf(-1)
+		if g > 0 {
+			gdB = 10 * math.Log10(g)
+		}
+		out[i] = PatternPoint{Az: az, GainDB: gdB}
+	}
+	return out
+}
+
+// HalfPowerBeamwidth returns the −3 dB main-lobe width (radians) of the
+// azimuth cut of w at elevation el, measured around the pattern peak.
+// Returns 0 if the pattern has no identifiable peak.
+func HalfPowerBeamwidth(ar Array, w cmat.Vector, el float64) float64 {
+	const samples = 2048
+	cut := PatternCut(ar, w, el, samples)
+	peak, peakIdx := math.Inf(-1), -1
+	for i, p := range cut {
+		if p.GainDB > peak {
+			peak, peakIdx = p.GainDB, i
+		}
+	}
+	if peakIdx < 0 || math.IsInf(peak, -1) {
+		return 0
+	}
+	threshold := peak - 3
+	lo, hi := peakIdx, peakIdx
+	for lo > 0 && cut[lo-1].GainDB >= threshold {
+		lo--
+	}
+	for hi < len(cut)-1 && cut[hi+1].GainDB >= threshold {
+		hi++
+	}
+	return cut[hi].Az - cut[lo].Az
+}
+
+// PeakSidelobeDB returns the highest pattern level outside the main lobe
+// relative to the peak, in dB (a negative number; more negative is
+// better). The main lobe is delimited by the first nulls (local minima
+// at least 20 dB below peak) on each side of the peak; if no such null
+// exists the function returns 0 (lobe fills the cut).
+func PeakSidelobeDB(ar Array, w cmat.Vector, el float64) float64 {
+	const samples = 2048
+	cut := PatternCut(ar, w, el, samples)
+	peak, peakIdx := math.Inf(-1), -1
+	for i, p := range cut {
+		if p.GainDB > peak {
+			peak, peakIdx = p.GainDB, i
+		}
+	}
+	if peakIdx < 0 {
+		return 0
+	}
+	nullDepth := peak - 20
+	left := -1
+	for i := peakIdx; i > 0; i-- {
+		if cut[i].GainDB <= nullDepth {
+			left = i
+			break
+		}
+	}
+	right := -1
+	for i := peakIdx; i < len(cut); i++ {
+		if cut[i].GainDB <= nullDepth {
+			right = i
+			break
+		}
+	}
+	if left < 0 && right < 0 {
+		return 0
+	}
+	side := math.Inf(-1)
+	for i, p := range cut {
+		if (left >= 0 && i <= left) || (right >= 0 && i >= right) {
+			if p.GainDB > side {
+				side = p.GainDB
+			}
+		}
+	}
+	if math.IsInf(side, -1) {
+		return 0
+	}
+	return side - peak
+}
+
+// CoverageStats summarizes how well a codebook covers the angular space.
+type CoverageStats struct {
+	// WorstGainDB is the minimum over sampled directions of the best
+	// codeword gain — the worst-case loss a user in an unlucky direction
+	// pays relative to a perfectly steered beam (0 dB).
+	WorstGainDB float64
+	// MeanGainDB is the mean over directions of the best codeword gain.
+	MeanGainDB float64
+}
+
+// Coverage evaluates codebook coverage over an nAz×nEl sample grid of
+// the codebook's nominal angular span. For every sampled direction it
+// takes the best codeword's gain relative to the matched-beam gain
+// (unit, by the unit-norm convention).
+func Coverage(cb *Codebook, nAz, nEl int) CoverageStats {
+	if nAz < 2 {
+		nAz = 2
+	}
+	if nEl < 1 {
+		nEl = 1
+	}
+	ar := cb.Array()
+	worst := math.Inf(1)
+	var sum float64
+	var count int
+	for e := 0; e < nEl; e++ {
+		el := 0.0
+		if nEl > 1 {
+			el = -math.Pi/4 + math.Pi/2*float64(e)/float64(nEl-1)
+		}
+		for a := 0; a < nAz; a++ {
+			az := -math.Pi/2 + math.Pi*float64(a)/float64(nAz-1)
+			d := Direction{Az: az, El: el}
+			best := 0.0
+			for _, beam := range cb.Beams() {
+				if g := Gain(ar, beam.Weights, d); g > best {
+					best = g
+				}
+			}
+			bestDB := math.Inf(-1)
+			if best > 0 {
+				bestDB = 10 * math.Log10(best)
+			}
+			if bestDB < worst {
+				worst = bestDB
+			}
+			sum += bestDB
+			count++
+		}
+	}
+	return CoverageStats{WorstGainDB: worst, MeanGainDB: sum / float64(count)}
+}

@@ -1,0 +1,96 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPatternCutShapeAndPeak(t *testing.T) {
+	a := NewULA(16)
+	target := Direction{Az: 0.3}
+	w := a.Steering(target)
+	cut := PatternCut(a, w, 0, 721)
+	if len(cut) != 721 {
+		t.Fatalf("len = %d", len(cut))
+	}
+	// Peak must land near the steering azimuth with ~0 dB gain.
+	best, bestIdx := math.Inf(-1), -1
+	for i, p := range cut {
+		if p.GainDB > best {
+			best, bestIdx = p.GainDB, i
+		}
+	}
+	if math.Abs(cut[bestIdx].Az-0.3) > 0.02 {
+		t.Errorf("peak at az %g, want ~0.3", cut[bestIdx].Az)
+	}
+	if math.Abs(best) > 0.05 {
+		t.Errorf("peak gain %g dB, want ~0", best)
+	}
+}
+
+func TestPatternCutMinimumSamples(t *testing.T) {
+	a := NewULA(4)
+	if got := len(PatternCut(a, a.Steering(Direction{}), 0, 0)); got != 2 {
+		t.Errorf("len = %d, want clamped 2", got)
+	}
+}
+
+func TestHalfPowerBeamwidthScalesInverselyWithAperture(t *testing.T) {
+	// For a λ/2 ULA the HPBW is ≈ 0.886·2/N radians at boresight.
+	for _, n := range []int{8, 16, 32} {
+		a := NewULA(n)
+		w := a.Steering(Direction{})
+		got := HalfPowerBeamwidth(a, w, 0)
+		want := 0.886 * 2 / float64(n)
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("N=%d: HPBW = %g rad, want ≈%g", n, got, want)
+		}
+	}
+	// Doubling the array should roughly halve the beamwidth.
+	w8 := HalfPowerBeamwidth(NewULA(8), NewULA(8).Steering(Direction{}), 0)
+	w16 := HalfPowerBeamwidth(NewULA(16), NewULA(16).Steering(Direction{}), 0)
+	if ratio := w8 / w16; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("HPBW ratio 8→16 elements = %g, want ≈2", ratio)
+	}
+}
+
+func TestPeakSidelobeUniformULA(t *testing.T) {
+	// The first sidelobe of a uniformly weighted array is ≈ −13.3 dB.
+	a := NewULA(32)
+	w := a.Steering(Direction{})
+	got := PeakSidelobeDB(a, w, 0)
+	if math.Abs(got-(-13.3)) > 1.0 {
+		t.Errorf("peak sidelobe = %g dB, want ≈ −13.3", got)
+	}
+}
+
+func TestCoverageImprovesWithCodebookSize(t *testing.T) {
+	ar := NewULA(16)
+	small := Coverage(NewGridCodebook(ar, 8, 1, math.Pi, 0), 181, 1)
+	large := Coverage(NewGridCodebook(ar, 32, 1, math.Pi, 0), 181, 1)
+	if large.WorstGainDB < small.WorstGainDB {
+		t.Errorf("denser codebook has worse coverage: %g vs %g dB",
+			large.WorstGainDB, small.WorstGainDB)
+	}
+	if large.MeanGainDB < small.MeanGainDB {
+		t.Errorf("denser codebook has worse mean gain: %g vs %g dB",
+			large.MeanGainDB, small.MeanGainDB)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	ar := NewULA(8)
+	cb := NewGridCodebook(ar, 16, 1, math.Pi, 0)
+	st := Coverage(cb, 91, 1)
+	if st.WorstGainDB > 0.01 {
+		t.Errorf("worst gain %g dB exceeds matched-beam bound", st.WorstGainDB)
+	}
+	if st.MeanGainDB < st.WorstGainDB {
+		t.Errorf("mean %g below worst %g", st.MeanGainDB, st.WorstGainDB)
+	}
+	// A 16-beam book on an 8-element array should cover the sweep within
+	// a few dB everywhere (beams overlap at roughly their -1 dB points).
+	if st.WorstGainDB < -6 {
+		t.Errorf("worst-case coverage %g dB is implausibly poor", st.WorstGainDB)
+	}
+}

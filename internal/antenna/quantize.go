@@ -1,0 +1,67 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmwalign/internal/cmat"
+)
+
+// QuantizeWeights applies the analog phase-shifter hardware constraint
+// to a beamforming vector: every element is forced to constant modulus
+// 1/√N (phase shifters cannot attenuate) with its phase rounded to the
+// nearest of 2^bits uniformly spaced levels. Zero elements keep phase 0.
+// Panics if bits < 1 (a programmer error; 1-bit shifters are the
+// hardware floor).
+func QuantizeWeights(w cmat.Vector, bits int) cmat.Vector {
+	if bits < 1 {
+		panic(fmt.Sprintf("antenna: phase shifter bits %d must be ≥1", bits))
+	}
+	n := len(w)
+	if n == 0 {
+		return cmat.Vector{}
+	}
+	levels := float64(int(1) << uint(bits))
+	step := 2 * math.Pi / levels
+	mag := 1 / math.Sqrt(float64(n))
+	out := make(cmat.Vector, n)
+	for i, v := range w {
+		phase := cmplx.Phase(v) // 0 for v == 0
+		q := math.Round(phase/step) * step
+		out[i] = cmplx.Rect(mag, q)
+	}
+	return out
+}
+
+// QuantizedCodebook returns a copy of cb with every codeword passed
+// through b-bit phase quantization — the codebook an actual analog
+// front end can realize.
+func QuantizedCodebook(cb *Codebook, bits int) *Codebook {
+	out := &Codebook{
+		nAz:    cb.nAz,
+		nEl:    cb.nEl,
+		array:  cb.array,
+		labels: fmt.Sprintf("%s (quantized %d-bit)", cb.labels, bits),
+	}
+	for _, b := range cb.beams {
+		nb := b
+		nb.Weights = QuantizeWeights(b.Weights, bits)
+		out.beams = append(out.beams, nb)
+	}
+	return out
+}
+
+// QuantizationLossDB returns the beamforming gain loss (dB) of b-bit
+// phase quantization for a steering beam toward d on array ar: the gain
+// of the quantized beam relative to the ideal continuous-phase beam.
+func QuantizationLossDB(ar Array, d Direction, bits int) float64 {
+	w := ar.Steering(d)
+	q := QuantizeWeights(w, bits)
+	ideal := Gain(ar, w, d)
+	got := Gain(ar, q, d)
+	if got <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(ideal/got)
+}

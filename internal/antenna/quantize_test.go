@@ -1,0 +1,105 @@
+package antenna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"mmwalign/internal/cmat"
+)
+
+func TestQuantizeWeightsConstantModulus(t *testing.T) {
+	a := NewUPA(4, 4)
+	w := a.Steering(Direction{Az: 0.37, El: -0.11})
+	for _, bits := range []int{1, 2, 3, 6} {
+		q := QuantizeWeights(w, bits)
+		want := 1 / math.Sqrt(16)
+		for i, v := range q {
+			if math.Abs(cmplx.Abs(v)-want) > 1e-12 {
+				t.Fatalf("bits=%d element %d modulus %g, want %g", bits, i, cmplx.Abs(v), want)
+			}
+		}
+		if n := q.Norm(); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("bits=%d norm %g", bits, n)
+		}
+	}
+}
+
+func TestQuantizeWeightsPhaseLevels(t *testing.T) {
+	a := NewULA(8)
+	w := a.Steering(Direction{Az: 0.5})
+	bits := 2
+	q := QuantizeWeights(w, bits)
+	step := math.Pi / 2 // 2π/2²
+	for i, v := range q {
+		phase := cmplx.Phase(v)
+		ratio := phase / step
+		if math.Abs(ratio-math.Round(ratio)) > 1e-9 {
+			t.Fatalf("element %d phase %g is not a multiple of %g", i, phase, step)
+		}
+	}
+}
+
+func TestQuantizeWeightsPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QuantizeWeights(cmat.Vector{1, 1, 1, 1}, 0)
+}
+
+func TestQuantizationLossShrinksWithBits(t *testing.T) {
+	a := NewUPA(8, 8)
+	d := Direction{Az: 0.4, El: 0.15}
+	prev := math.Inf(1)
+	for _, bits := range []int{1, 2, 3, 4} {
+		loss := QuantizationLossDB(a, d, bits)
+		if loss < 0 {
+			t.Fatalf("bits=%d negative loss %g", bits, loss)
+		}
+		if loss > prev+1e-9 {
+			t.Fatalf("loss grew with more bits: %g -> %g", prev, loss)
+		}
+		prev = loss
+	}
+	// The standard result: 3-bit quantization costs well under 0.3 dB.
+	if l := QuantizationLossDB(a, d, 3); l > 0.3 {
+		t.Errorf("3-bit loss %g dB, want < 0.3", l)
+	}
+	// 1-bit costs a few dB but the beam must survive.
+	if l := QuantizationLossDB(a, d, 1); l > 6 {
+		t.Errorf("1-bit loss %g dB implausibly large", l)
+	}
+}
+
+func TestQuantizedCodebook(t *testing.T) {
+	cb := testCodebook()
+	qcb := QuantizedCodebook(cb, 2)
+	if qcb.Size() != cb.Size() {
+		t.Fatalf("size %d, want %d", qcb.Size(), cb.Size())
+	}
+	nAz, nEl := qcb.GridShape()
+	wAz, wEl := cb.GridShape()
+	if nAz != wAz || nEl != wEl {
+		t.Error("grid shape changed")
+	}
+	for i := 0; i < qcb.Size(); i++ {
+		b := qcb.Beam(i)
+		if math.Abs(b.Weights.Norm()-1) > 1e-12 {
+			t.Fatalf("beam %d norm %g", i, b.Weights.Norm())
+		}
+		if b.Dir != cb.Beam(i).Dir {
+			t.Fatalf("beam %d direction changed", i)
+		}
+	}
+	// Quantized beams still point: matched-direction gain within 1 dB of
+	// the ideal codeword.
+	for _, i := range []int{0, 7, 15, 31} {
+		ideal := Gain(cb.Array(), cb.Beam(i).Weights, cb.Beam(i).Dir)
+		got := Gain(cb.Array(), qcb.Beam(i).Weights, qcb.Beam(i).Dir)
+		if 10*math.Log10(ideal/got) > 1 {
+			t.Errorf("beam %d quantization loss > 1 dB", i)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package aoa implements subspace-based angle-of-arrival estimation
+// (MUSIC) on top of the library's covariance estimates. Where the
+// alignment core ranks codebook beams by the quadratic form vᴴQ̂v, MUSIC
+// extracts the underlying propagation directions themselves: it splits
+// the covariance eigenspace into signal and noise subspaces and scores
+// each candidate direction by how orthogonal its steering vector is to
+// the noise subspace. The resulting angle estimates are finer than the
+// codebook grid and feed beyond-codebook steering, diagnostics, and the
+// localization use cases of the mmWave literature (e.g. Deng & Sayeed,
+// reference [6] of the paper).
+package aoa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/cmat"
+)
+
+// SpectrumPoint is one sample of the MUSIC pseudospectrum.
+type SpectrumPoint struct {
+	// Dir is the candidate direction.
+	Dir antenna.Direction
+	// Power is the pseudospectrum value 1/‖Eₙᴴa(Dir)‖²; larger means
+	// closer to a true arrival direction.
+	Power float64
+}
+
+// Config parameterizes a MUSIC estimate.
+type Config struct {
+	// Sources is the assumed signal-subspace dimension (number of
+	// dominant arrival directions). Required, ≥ 1.
+	Sources int
+	// GridAz and GridEl set the search-grid resolution (default 90×45
+	// over the span below).
+	GridAz, GridEl int
+	// AzSpan and ElSpan bound the search (default π and π/2, centered
+	// on boresight).
+	AzSpan, ElSpan float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.GridAz == 0 {
+		c.GridAz = 90
+	}
+	if c.GridEl == 0 {
+		c.GridEl = 45
+	}
+	if c.AzSpan == 0 {
+		c.AzSpan = math.Pi
+	}
+	if c.ElSpan == 0 {
+		c.ElSpan = math.Pi / 2
+	}
+	return c
+}
+
+// Estimate runs MUSIC on the Hermitian covariance q over the array ar
+// and returns the pseudospectrum (row-major over the el×az grid) plus
+// the Sources strongest local peaks, strongest first.
+func Estimate(ar antenna.Array, q *cmat.Matrix, cfg Config) ([]SpectrumPoint, []antenna.Direction, error) {
+	cfg = cfg.withDefaults()
+	n := ar.Elements()
+	if q.Rows() != n || q.Cols() != n {
+		return nil, nil, fmt.Errorf("aoa: covariance is %dx%d for an %d-element array", q.Rows(), q.Cols(), n)
+	}
+	if cfg.Sources < 1 || cfg.Sources >= n {
+		return nil, nil, fmt.Errorf("aoa: sources %d must be in [1, %d)", cfg.Sources, n)
+	}
+
+	eig, err := cmat.EigHermitian(q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aoa: eigendecomposition: %w", err)
+	}
+	// Noise subspace: eigenvectors beyond the assumed signal dimension.
+	noiseDim := n - cfg.Sources
+	noise := make([]cmat.Vector, noiseDim)
+	for k := 0; k < noiseDim; k++ {
+		noise[k] = eig.Vectors.Col(cfg.Sources + k)
+	}
+
+	spectrum := make([]SpectrumPoint, 0, cfg.GridAz*cfg.GridEl)
+	for e := 0; e < cfg.GridEl; e++ {
+		el := gridAngle(e, cfg.GridEl, cfg.ElSpan)
+		for a := 0; a < cfg.GridAz; a++ {
+			az := gridAngle(a, cfg.GridAz, cfg.AzSpan)
+			d := antenna.Direction{Az: az, El: el}
+			s := ar.Steering(d)
+			var proj float64
+			for _, en := range noise {
+				ip := en.Dot(s)
+				proj += real(ip)*real(ip) + imag(ip)*imag(ip)
+			}
+			power := math.Inf(1)
+			if proj > 1e-15 {
+				power = 1 / proj
+			}
+			spectrum = append(spectrum, SpectrumPoint{Dir: d, Power: power})
+		}
+	}
+
+	peaks := findPeaks(spectrum, cfg.GridAz, cfg.GridEl, cfg.Sources)
+	return spectrum, peaks, nil
+}
+
+// gridAngle places sample i of n at the cell center of a zero-centered
+// span.
+func gridAngle(i, n int, span float64) float64 {
+	if n == 1 {
+		return 0
+	}
+	cell := span / float64(n)
+	return -span/2 + cell*(float64(i)+0.5)
+}
+
+// findPeaks returns up to k local maxima of the gridded spectrum
+// (4-neighborhood), strongest first; if fewer strict local maxima exist
+// the globally strongest remaining points fill in.
+func findPeaks(spec []SpectrumPoint, nAz, nEl, k int) []antenna.Direction {
+	type cand struct {
+		idx   int
+		power float64
+		local bool
+	}
+	var cands []cand
+	at := func(a, e int) float64 { return spec[e*nAz+a].Power }
+	for e := 0; e < nEl; e++ {
+		for a := 0; a < nAz; a++ {
+			p := at(a, e)
+			local := true
+			if a > 0 && at(a-1, e) >= p {
+				local = false
+			}
+			if a < nAz-1 && at(a+1, e) > p {
+				local = false
+			}
+			if e > 0 && at(a, e-1) >= p {
+				local = false
+			}
+			if e < nEl-1 && at(a, e+1) > p {
+				local = false
+			}
+			cands = append(cands, cand{idx: e*nAz + a, power: p, local: local})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].local != cands[j].local {
+			return cands[i].local
+		}
+		if cands[i].power != cands[j].power {
+			return cands[i].power > cands[j].power
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	out := make([]antenna.Direction, 0, k)
+	for _, c := range cands {
+		if len(out) == k {
+			break
+		}
+		out = append(out, spec[c.idx].Dir)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package aoa
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/channel"
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// plantedCovariance builds Q = Σ_i p_i·a(d_i)·a(d_i)ᴴ + σ²·I.
+func plantedCovariance(ar antenna.Array, dirs []antenna.Direction, powers []float64, noise float64) *cmat.Matrix {
+	n := ar.Elements()
+	q := cmat.New(n, n)
+	for i, d := range dirs {
+		a := ar.Steering(d)
+		q.AddInPlace(complex(powers[i], 0), a.Outer(a))
+	}
+	for i := 0; i < n; i++ {
+		q.AddAt(i, i, complex(noise, 0))
+	}
+	return q.Hermitianize()
+}
+
+func TestEstimateValidation(t *testing.T) {
+	ar := antenna.NewULA(8)
+	q := cmat.Identity(8)
+	if _, _, err := Estimate(ar, cmat.Identity(4), Config{Sources: 1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, _, err := Estimate(ar, q, Config{Sources: 0}); err == nil {
+		t.Error("zero sources accepted")
+	}
+	if _, _, err := Estimate(ar, q, Config{Sources: 8}); err == nil {
+		t.Error("sources = n accepted")
+	}
+}
+
+func TestEstimateRecoversSingleAngle(t *testing.T) {
+	ar := antenna.NewULA(16)
+	truth := antenna.Direction{Az: 0.35}
+	q := plantedCovariance(ar, []antenna.Direction{truth}, []float64{10}, 0.01)
+	_, peaks, err := Estimate(ar, q, Config{Sources: 1, GridAz: 360, GridEl: 1, ElSpan: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 1 {
+		t.Fatalf("got %d peaks", len(peaks))
+	}
+	if math.Abs(peaks[0].Az-truth.Az) > 0.02 {
+		t.Errorf("estimated az %g, want %g", peaks[0].Az, truth.Az)
+	}
+}
+
+func TestEstimateResolvesTwoAngles(t *testing.T) {
+	ar := antenna.NewULA(32)
+	d1 := antenna.Direction{Az: -0.4}
+	d2 := antenna.Direction{Az: 0.25}
+	q := plantedCovariance(ar, []antenna.Direction{d1, d2}, []float64{5, 5}, 0.01)
+	_, peaks, err := Estimate(ar, q, Config{Sources: 2, GridAz: 720, GridEl: 1, ElSpan: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 2 {
+		t.Fatalf("got %d peaks", len(peaks))
+	}
+	found1, found2 := false, false
+	for _, p := range peaks {
+		if math.Abs(p.Az-d1.Az) < 0.03 {
+			found1 = true
+		}
+		if math.Abs(p.Az-d2.Az) < 0.03 {
+			found2 = true
+		}
+	}
+	if !found1 || !found2 {
+		t.Errorf("peaks %v do not match planted angles %g, %g", peaks, d1.Az, d2.Az)
+	}
+}
+
+func TestEstimateUPAAzimuthElevation(t *testing.T) {
+	ar := antenna.NewUPA(8, 8)
+	truth := antenna.Direction{Az: 0.3, El: -0.2}
+	q := plantedCovariance(ar, []antenna.Direction{truth}, []float64{20}, 0.01)
+	_, peaks, err := Estimate(ar, q, Config{Sources: 1, GridAz: 180, GridEl: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peaks[0].Az-truth.Az) > 0.05 || math.Abs(peaks[0].El-truth.El) > 0.05 {
+		t.Errorf("estimated (%g, %g), want (%g, %g)",
+			peaks[0].Az, peaks[0].El, truth.Az, truth.El)
+	}
+}
+
+func TestEstimateFinerThanCodebook(t *testing.T) {
+	// The point of MUSIC here: angle estimates finer than the 8-beam
+	// codebook grid. Plant an off-grid angle and verify MUSIC lands
+	// within a fraction of the codebook spacing.
+	ar := antenna.NewULA(16)
+	truth := antenna.Direction{Az: 0.123}
+	q := plantedCovariance(ar, []antenna.Direction{truth}, []float64{10}, 0.01)
+	_, peaks, err := Estimate(ar, q, Config{Sources: 1, GridAz: 720, GridEl: 1, ElSpan: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codebookSpacing := math.Pi / 8
+	if math.Abs(peaks[0].Az-truth.Az) > codebookSpacing/8 {
+		t.Errorf("MUSIC error %g not finer than codebook spacing %g",
+			math.Abs(peaks[0].Az-truth.Az), codebookSpacing)
+	}
+}
+
+func TestEstimateFromEstimatedChannelCovariance(t *testing.T) {
+	// End to end: NYC channel → true RX covariance → MUSIC peak should
+	// land near the strongest cluster's AoA.
+	tx, rx := antenna.NewUPA(4, 4), antenna.NewUPA(8, 8)
+	p := channel.DefaultNYC28()
+	p.MaxClusters = 1
+	ch, err := channel.NewNYCMultipath(rng.New(50), tx, rx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ch.RXCovarianceIsotropic()
+	_, peaks, err := Estimate(rx, q, Config{Sources: 2, GridAz: 120, GridEl: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strongest subpath AoA.
+	best := 0
+	for i, path := range ch.Paths {
+		if path.Power > ch.Paths[best].Power {
+			best = i
+		}
+	}
+	want := ch.Paths[best].AoA
+	// Any returned peak within the cluster's angular neighborhood works
+	// (the cluster has ~15° spread).
+	tol := 25 * math.Pi / 180
+	ok := false
+	for _, pk := range peaks {
+		if math.Abs(pk.Az-want.Az) < tol && math.Abs(pk.El-want.El) < tol {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("no MUSIC peak near dominant AoA (%g, %g); peaks %v", want.Az, want.El, peaks)
+	}
+}
+
+func TestSpectrumShape(t *testing.T) {
+	ar := antenna.NewULA(8)
+	q := plantedCovariance(ar, []antenna.Direction{{Az: 0}}, []float64{1}, 0.1)
+	spec, _, err := Estimate(ar, q, Config{Sources: 1, GridAz: 64, GridEl: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 64*4 {
+		t.Fatalf("spectrum length %d", len(spec))
+	}
+	for _, sp := range spec {
+		if sp.Power < 0 {
+			t.Fatal("negative pseudospectrum value")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/rng"
+)
+
+// Blocker models dynamic link blockage, the signature impairment of the
+// mmWave band: path clusters are independently and intermittently
+// obstructed (a person, a vehicle, the user's own hand), attenuating the
+// cluster by tens of dB. Each cluster's state evolves as a two-state
+// Markov chain; stepping the blocker mutates the underlying channel's
+// path powers in place, so stale beam pairs lose their gain exactly the
+// way a MAC-layer simulation needs them to.
+type Blocker struct {
+	ch     *Channel
+	groups [][]int
+	base   []float64
+	// blocked[g] is the current state of cluster g.
+	blocked []bool
+
+	// pBlock and pUnblock are the per-step transition probabilities
+	// unblocked→blocked and blocked→unblocked.
+	pBlock, pUnblock float64
+	// linearLoss is the power scale applied to blocked clusters.
+	linearLoss float64
+}
+
+// NewBlocker attaches a blockage process to ch. groupSize is the number
+// of consecutive paths forming one physical cluster (the NYC generator's
+// SubpathsPerCluster; use 1 to block paths independently). pBlock and
+// pUnblock are per-step transition probabilities; attenuationDB is the
+// blockage depth (e.g. 20–30 dB for a human body at 28 GHz).
+func NewBlocker(ch *Channel, groupSize int, pBlock, pUnblock, attenuationDB float64) (*Blocker, error) {
+	if groupSize < 1 {
+		return nil, fmt.Errorf("channel: blocker group size %d must be ≥1", groupSize)
+	}
+	if pBlock < 0 || pBlock > 1 || pUnblock < 0 || pUnblock > 1 {
+		return nil, fmt.Errorf("channel: blocker probabilities (%g, %g) must be in [0,1]", pBlock, pUnblock)
+	}
+	if attenuationDB < 0 {
+		return nil, fmt.Errorf("channel: blocker attenuation %g dB must be non-negative", attenuationDB)
+	}
+	b := &Blocker{
+		ch:         ch,
+		pBlock:     pBlock,
+		pUnblock:   pUnblock,
+		linearLoss: math.Pow(10, -attenuationDB/10),
+	}
+	for start := 0; start < len(ch.Paths); start += groupSize {
+		end := start + groupSize
+		if end > len(ch.Paths) {
+			end = len(ch.Paths)
+		}
+		group := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			group = append(group, i)
+			b.base = append(b.base, ch.Paths[i].Power)
+		}
+		b.groups = append(b.groups, group)
+		b.blocked = append(b.blocked, false)
+	}
+	return b, nil
+}
+
+// Step advances every cluster's blockage chain by one epoch and applies
+// the resulting powers to the channel.
+func (b *Blocker) Step(src *rng.Source) {
+	for g := range b.groups {
+		if b.blocked[g] {
+			if src.Bernoulli(b.pUnblock) {
+				b.blocked[g] = false
+			}
+		} else {
+			if src.Bernoulli(b.pBlock) {
+				b.blocked[g] = true
+			}
+		}
+	}
+	b.apply()
+}
+
+// ForceBlock sets cluster g's state directly (for tests and scripted
+// scenarios) and applies it. Panics if g is out of range.
+func (b *Blocker) ForceBlock(g int, blocked bool) {
+	if g < 0 || g >= len(b.blocked) {
+		panic(fmt.Sprintf("channel: blocker cluster %d out of range [0,%d)", g, len(b.blocked)))
+	}
+	b.blocked[g] = blocked
+	b.apply()
+}
+
+// BlockedCount returns how many clusters are currently blocked.
+func (b *Blocker) BlockedCount() int {
+	n := 0
+	for _, bl := range b.blocked {
+		if bl {
+			n++
+		}
+	}
+	return n
+}
+
+// Clusters returns the number of blockage groups.
+func (b *Blocker) Clusters() int { return len(b.groups) }
+
+// apply writes the per-path powers implied by the current states.
+func (b *Blocker) apply() {
+	idx := 0
+	for g, group := range b.groups {
+		scale := 1.0
+		if b.blocked[g] {
+			scale = b.linearLoss
+		}
+		for _, pi := range group {
+			b.ch.Paths[pi].Power = b.base[idx] * scale
+			idx++
+		}
+	}
+}

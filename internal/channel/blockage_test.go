@@ -1,0 +1,179 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/rng"
+)
+
+func multipathFixture(t *testing.T, seed int64) *Channel {
+	t.Helper()
+	tx, rx := testArrays()
+	p := DefaultNYC28()
+	p.MaxClusters = 3
+	p.SubpathsPerCluster = 5
+	ch, err := NewNYCMultipath(rng.New(seed), tx, rx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestNewBlockerValidation(t *testing.T) {
+	ch := multipathFixture(t, 60)
+	cases := []struct {
+		name      string
+		groupSize int
+		pb, pu    float64
+		att       float64
+	}{
+		{"zero group", 0, 0.1, 0.1, 20},
+		{"bad pBlock", 1, -0.1, 0.1, 20},
+		{"bad pUnblock", 1, 0.1, 1.5, 20},
+		{"negative attenuation", 1, 0.1, 0.1, -3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewBlocker(ch, tc.groupSize, tc.pb, tc.pu, tc.att); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestBlockerGrouping(t *testing.T) {
+	ch := multipathFixture(t, 61)
+	b, err := NewBlocker(ch, 5, 0.1, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ch.Paths) / 5; b.Clusters() != want {
+		t.Errorf("Clusters = %d, want %d", b.Clusters(), want)
+	}
+	if b.BlockedCount() != 0 {
+		t.Errorf("initial blocked count = %d", b.BlockedCount())
+	}
+}
+
+func TestForceBlockAttenuatesCluster(t *testing.T) {
+	ch := multipathFixture(t, 62)
+	before := make([]float64, len(ch.Paths))
+	for i, p := range ch.Paths {
+		before[i] = p.Power
+	}
+	b, err := NewBlocker(ch, 5, 0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ForceBlock(0, true)
+	for i := 0; i < 5; i++ {
+		want := before[i] * 0.01 // 20 dB
+		if math.Abs(ch.Paths[i].Power-want) > 1e-15 {
+			t.Errorf("path %d power %g, want %g", i, ch.Paths[i].Power, want)
+		}
+	}
+	// Other clusters untouched.
+	for i := 5; i < len(ch.Paths); i++ {
+		if ch.Paths[i].Power != before[i] {
+			t.Errorf("path %d in unblocked cluster changed", i)
+		}
+	}
+	// Unblocking restores exactly.
+	b.ForceBlock(0, false)
+	for i := range ch.Paths {
+		if ch.Paths[i].Power != before[i] {
+			t.Errorf("path %d not restored", i)
+		}
+	}
+}
+
+func TestForceBlockDegradesBeamGain(t *testing.T) {
+	ch := multipathFixture(t, 63)
+	b, err := NewBlocker(ch, 5, 0, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beam at the first cluster's strongest subpath.
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	gBefore := ch.MeanPairGain(u, v)
+	b.ForceBlock(0, true)
+	gAfter := ch.MeanPairGain(u, v)
+	if gAfter >= gBefore/2 {
+		t.Errorf("gain %g -> %g; blockage should slash it", gBefore, gAfter)
+	}
+}
+
+func TestBlockerStepStationaryFraction(t *testing.T) {
+	// With pBlock = pUnblock = 0.5 the stationary blocked fraction is
+	// one half; verify over many steps and clusters.
+	ch := multipathFixture(t, 64)
+	b, err := NewBlocker(ch, 1, 0.5, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(65)
+	var sum, n float64
+	for step := 0; step < 4000; step++ {
+		b.Step(src)
+		sum += float64(b.BlockedCount())
+		n += float64(b.Clusters())
+	}
+	frac := sum / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("stationary blocked fraction = %g, want 0.5", frac)
+	}
+}
+
+func TestBlockerNeverStepsWithZeroProb(t *testing.T) {
+	ch := multipathFixture(t, 66)
+	b, err := NewBlocker(ch, 5, 0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(67)
+	for i := 0; i < 100; i++ {
+		b.Step(src)
+	}
+	if b.BlockedCount() != 0 {
+		t.Errorf("blocked %d clusters with pBlock=0", b.BlockedCount())
+	}
+}
+
+func TestForceBlockPanicsOutOfRange(t *testing.T) {
+	ch := multipathFixture(t, 68)
+	b, err := NewBlocker(ch, 5, 0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.ForceBlock(b.Clusters(), true)
+}
+
+func TestBlockerSinglePathOutage(t *testing.T) {
+	// Blocking the only path of a single-path channel is an outage: the
+	// optimal gain collapses by the attenuation depth.
+	tx, rx := testArrays()
+	ch, err := NewSinglePath(rng.New(69), tx, rx, SinglePathSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBlocker(ch, 1, 0, 0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	gBefore := ch.MeanPairGain(u, v)
+	b.ForceBlock(0, true)
+	gAfter := ch.MeanPairGain(u, v)
+	ratioDB := 10 * math.Log10(gBefore/gAfter)
+	if math.Abs(ratioDB-25) > 1e-9 {
+		t.Errorf("blockage depth = %g dB, want 25", ratioDB)
+	}
+}

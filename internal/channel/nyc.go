@@ -1,0 +1,159 @@
+package channel
+
+import (
+	"math"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/rng"
+)
+
+// NYCParams parameterizes the clustered multipath generator following the
+// 28 GHz New York City statistical model of Akdeniz et al. (paper
+// reference [3]): a Poisson number of path clusters with at most 2–3
+// dominant, heavy-tailed cluster power fractions, and small per-cluster
+// angular spreads — the structure that makes the spatial covariance
+// low-rank.
+type NYCParams struct {
+	// ClusterRate is the Poisson rate of the cluster count; the count is
+	// max(1, Poisson(ClusterRate)). NYC 28 GHz: 1.8.
+	ClusterRate float64
+	// PowerTailExp is the exponent r_τ of the cluster power fraction law
+	// γ'_k = U_k^{r_τ−1} · 10^{−0.1·Z_k}. NYC 28 GHz: 2.8.
+	PowerTailExp float64
+	// PowerShadowDB is the per-cluster lognormal shadowing ζ (dB) in the
+	// power fraction law. NYC 28 GHz: 4.0.
+	PowerShadowDB float64
+	// SubpathsPerCluster is the number of Laplacian-spread subpaths
+	// synthesized per cluster. The model of [3] uses a dense subpath
+	// continuum; 20 subpaths reproduce its covariance accurately.
+	SubpathsPerCluster int
+	// RMSSpreadAoADeg / RMSSpreadAoDDeg are the median per-cluster rms
+	// angular spreads in degrees (horizontal). NYC 28 GHz: 15.5° AoA,
+	// 10.2° AoD.
+	RMSSpreadAoADeg, RMSSpreadAoDDeg float64
+	// RMSSpreadElDeg is the vertical (elevation) rms spread, which the
+	// measurements find much smaller. NYC: 6°.
+	RMSSpreadElDeg float64
+	// SpreadSigma is the lognormal sigma of the per-cluster spread draw
+	// around its median.
+	SpreadSigma float64
+	// AzSpan / ElSpan bound cluster central angles as in SinglePathSpec.
+	AzSpan, ElSpan float64
+	// MaxClusters caps the cluster count (0 = no cap).
+	MaxClusters int
+}
+
+// DefaultNYC28 returns the 28 GHz NYC parameter set used in the paper's
+// multipath evaluation.
+func DefaultNYC28() NYCParams {
+	return NYCParams{
+		ClusterRate:        1.8,
+		PowerTailExp:       2.8,
+		PowerShadowDB:      4.0,
+		SubpathsPerCluster: 20,
+		RMSSpreadAoADeg:    15.5,
+		RMSSpreadAoDDeg:    10.2,
+		RMSSpreadElDeg:     6.0,
+		SpreadSigma:        0.25,
+		AzSpan:             math.Pi,
+		ElSpan:             math.Pi / 2,
+		MaxClusters:        0,
+	}
+}
+
+// DefaultNYC73 returns a 73 GHz NYC-like parameter set (fewer, narrower
+// clusters) for sensitivity studies beyond the paper's headline figures.
+func DefaultNYC73() NYCParams {
+	p := DefaultNYC28()
+	p.ClusterRate = 1.9
+	p.RMSSpreadAoADeg = 15.4
+	p.RMSSpreadAoDDeg = 10.5
+	return p
+}
+
+// NewNYCMultipath draws a clustered multipath channel from the NYC
+// statistical model. Each cluster contributes SubpathsPerCluster subpaths
+// whose angles are Laplacian-distributed around the cluster center with
+// the drawn rms spread and whose powers split the cluster power evenly.
+func NewNYCMultipath(src *rng.Source, tx, rx antenna.Array, p NYCParams) (*Channel, error) {
+	if p.ClusterRate == 0 {
+		p = DefaultNYC28()
+	}
+	if p.AzSpan == 0 {
+		p.AzSpan = math.Pi
+	}
+	if p.ElSpan == 0 {
+		p.ElSpan = math.Pi / 2
+	}
+	if p.SubpathsPerCluster <= 0 {
+		p.SubpathsPerCluster = 20
+	}
+
+	k := src.Poisson(p.ClusterRate)
+	if k < 1 {
+		k = 1
+	}
+	if p.MaxClusters > 0 && k > p.MaxClusters {
+		k = p.MaxClusters
+	}
+
+	// Cluster power fractions (Akdeniz et al., eq. for γ'_k):
+	// γ'_k = U_k^{r_τ−1} · 10^{−0.1·Z_k},  Z_k ~ N(0, ζ²), then normalize.
+	fractions := make([]float64, k)
+	var total float64
+	for i := range fractions {
+		u := src.Float64()
+		z := src.NormalScaled(0, p.PowerShadowDB)
+		fractions[i] = math.Pow(u, p.PowerTailExp-1) * math.Pow(10, -0.1*z)
+		total += fractions[i]
+	}
+
+	// Per-cluster geometry and subpaths.
+	var paths []Path
+	for i := 0; i < k; i++ {
+		centerAoD := antenna.Direction{
+			Az: src.Uniform(-p.AzSpan/2, p.AzSpan/2),
+			El: src.Uniform(-p.ElSpan/2, p.ElSpan/2),
+		}
+		centerAoA := antenna.Direction{
+			Az: src.Uniform(-p.AzSpan/2, p.AzSpan/2),
+			El: src.Uniform(-p.ElSpan/2, p.ElSpan/2),
+		}
+		// Lognormal rms spreads around the medians. The Laplace scale b
+		// relates to the rms spread σ by σ = b·√2.
+		spreadAoA := deg2rad(src.Lognormal(math.Log(p.RMSSpreadAoADeg), p.SpreadSigma))
+		spreadAoD := deg2rad(src.Lognormal(math.Log(p.RMSSpreadAoDDeg), p.SpreadSigma))
+		spreadEl := deg2rad(src.Lognormal(math.Log(p.RMSSpreadElDeg), p.SpreadSigma))
+
+		clusterPower := fractions[i] / total
+		perSub := clusterPower / float64(p.SubpathsPerCluster)
+		for s := 0; s < p.SubpathsPerCluster; s++ {
+			paths = append(paths, Path{
+				Power: perSub,
+				AoD: antenna.Direction{
+					Az: clampAngle(centerAoD.Az+src.Laplace(spreadAoD/math.Sqrt2), p.AzSpan),
+					El: clampAngle(centerAoD.El+src.Laplace(spreadEl/math.Sqrt2), p.ElSpan),
+				},
+				AoA: antenna.Direction{
+					Az: clampAngle(centerAoA.Az+src.Laplace(spreadAoA/math.Sqrt2), p.AzSpan),
+					El: clampAngle(centerAoA.El+src.Laplace(spreadEl/math.Sqrt2), p.ElSpan),
+				},
+			})
+		}
+	}
+	return New(tx, rx, paths)
+}
+
+func deg2rad(d float64) float64 { return d * math.Pi / 180 }
+
+// clampAngle limits an angle to [−span/2, span/2].
+func clampAngle(a, span float64) float64 {
+	lim := span / 2
+	if a > lim {
+		return lim
+	}
+	if a < -lim {
+		return -lim
+	}
+	return a
+}

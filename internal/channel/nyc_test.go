@@ -1,0 +1,207 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+func TestNYCMultipathBasicStructure(t *testing.T) {
+	tx, rx := testArrays()
+	src := rng.New(30)
+	ch, err := NewNYCMultipath(src, tx, rx, DefaultNYC28())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultNYC28()
+	if len(ch.Paths)%p.SubpathsPerCluster != 0 {
+		t.Errorf("path count %d is not a multiple of subpaths %d", len(ch.Paths), p.SubpathsPerCluster)
+	}
+	var total float64
+	for _, path := range ch.Paths {
+		if path.Power < 0 {
+			t.Fatal("negative subpath power")
+		}
+		total += path.Power
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("total power = %g", total)
+	}
+}
+
+func TestNYCClusterCountDistribution(t *testing.T) {
+	// Cluster count = max(1, Poisson(1.8)): mean should be near 1.95,
+	// and 1..3 clusters should dominate (the "two to three dominant"
+	// observation of the paper).
+	tx, rx := testArrays()
+	src := rng.New(31)
+	p := DefaultNYC28()
+	const drops = 2000
+	var sum float64
+	within3 := 0
+	for i := 0; i < drops; i++ {
+		ch, err := NewNYCMultipath(src.SplitIndexed("drop", i), tx, rx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(ch.Paths) / p.SubpathsPerCluster
+		sum += float64(k)
+		if k <= 3 {
+			within3++
+		}
+	}
+	mean := sum / drops
+	if mean < 1.6 || mean > 2.4 {
+		t.Errorf("mean cluster count = %g, want ≈1.95", mean)
+	}
+	if frac := float64(within3) / drops; frac < 0.80 {
+		t.Errorf("fraction of drops with ≤3 clusters = %g, want ≥0.80", frac)
+	}
+}
+
+func TestNYCCovarianceLowRank(t *testing.T) {
+	// The headline property the paper exploits: a small number of
+	// directions captures ~95% of the RX channel energy. For an 8x8
+	// (64-dim) RX array the effective rank of Q must be far below 64.
+	tx, rx := testArrays()
+	src := rng.New(32)
+	const drops = 30
+	var dims95 []int
+	for i := 0; i < drops; i++ {
+		ch, err := NewNYCMultipath(src.SplitIndexed("drop", i), tx, rx, DefaultNYC28())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := ch.RXCovarianceIsotropic()
+		e, err := cmat.EigHermitian(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, v := range e.Values {
+			if v > 0 {
+				total += v
+			}
+		}
+		var acc float64
+		d := 0
+		for _, v := range e.Values {
+			if acc >= 0.95*total {
+				break
+			}
+			acc += v
+			d++
+		}
+		dims95 = append(dims95, d)
+	}
+	var sum int
+	for _, d := range dims95 {
+		sum += d
+	}
+	meanDim := float64(sum) / float64(len(dims95))
+	// [3] reports ~3 of 16 dimensions for a 4x4 array at 95% energy; for
+	// 64 dimensions the low-rank property means a small handful.
+	if meanDim > 16 {
+		t.Errorf("mean 95%%-energy dimension = %g of 64; channel is not low-rank", meanDim)
+	}
+}
+
+func TestNYCAngularSpreadSmall(t *testing.T) {
+	// Subpaths must concentrate around their cluster centers: the AoA
+	// azimuth standard deviation within a cluster should be within a
+	// factor of a few of the configured median spread.
+	tx, rx := testArrays()
+	p := DefaultNYC28()
+	p.MaxClusters = 1
+	src := rng.New(33)
+	ch, err := NewNYCMultipath(src, tx, rx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, path := range ch.Paths {
+		mean += path.AoA.Az
+	}
+	mean /= float64(len(ch.Paths))
+	var varAcc float64
+	for _, path := range ch.Paths {
+		d := path.AoA.Az - mean
+		varAcc += d * d
+	}
+	sd := math.Sqrt(varAcc / float64(len(ch.Paths)))
+	median := 15.5 * math.Pi / 180
+	if sd > 4*median {
+		t.Errorf("cluster azimuth spread %g rad far exceeds median %g", sd, median)
+	}
+}
+
+func TestNYCMaxClustersCap(t *testing.T) {
+	tx, rx := testArrays()
+	p := DefaultNYC28()
+	p.MaxClusters = 2
+	src := rng.New(34)
+	for i := 0; i < 50; i++ {
+		ch, err := NewNYCMultipath(src.SplitIndexed("drop", i), tx, rx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k := len(ch.Paths) / p.SubpathsPerCluster; k > 2 {
+			t.Fatalf("drop %d has %d clusters, cap is 2", i, k)
+		}
+	}
+}
+
+func TestNYCZeroParamsDefaulted(t *testing.T) {
+	tx, rx := testArrays()
+	ch, err := NewNYCMultipath(rng.New(35), tx, rx, NYCParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Paths) == 0 {
+		t.Error("no paths generated from defaulted params")
+	}
+}
+
+func TestNYCAnglesWithinSpan(t *testing.T) {
+	tx, rx := testArrays()
+	p := DefaultNYC28()
+	src := rng.New(36)
+	for i := 0; i < 20; i++ {
+		ch, err := NewNYCMultipath(src.SplitIndexed("drop", i), tx, rx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range ch.Paths {
+			if math.Abs(path.AoA.Az) > p.AzSpan/2+1e-12 || math.Abs(path.AoA.El) > p.ElSpan/2+1e-12 {
+				t.Fatalf("AoA %+v outside span", path.AoA)
+			}
+			if math.Abs(path.AoD.Az) > p.AzSpan/2+1e-12 || math.Abs(path.AoD.El) > p.ElSpan/2+1e-12 {
+				t.Fatalf("AoD %+v outside span", path.AoD)
+			}
+		}
+	}
+}
+
+func TestSinglePathSpecSpans(t *testing.T) {
+	tx, rx := testArrays()
+	spec := SinglePathSpec{AzSpan: 0.2, ElSpan: 0.1}
+	src := rng.New(37)
+	for i := 0; i < 50; i++ {
+		ch, err := NewSinglePath(src, tx, rx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ch.Paths[0]
+		if math.Abs(p.AoA.Az) > 0.1 || math.Abs(p.AoA.El) > 0.05 {
+			t.Fatalf("AoA %+v outside narrow span", p.AoA)
+		}
+	}
+}
+
+func TestDefaultNYC73Differs(t *testing.T) {
+	if DefaultNYC73() == DefaultNYC28() {
+		t.Error("73 GHz defaults should differ from 28 GHz")
+	}
+}

@@ -1,0 +1,128 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/rng"
+)
+
+// LinkState classifies the macroscopic propagation state of a link in
+// the NYC model: line-of-sight, non-line-of-sight, or outage (no usable
+// signal at all).
+type LinkState int
+
+// Link states. Values start at 1 so the zero value is invalid and cannot
+// be mistaken for LOS.
+const (
+	// StateLOS is line of sight.
+	StateLOS LinkState = iota + 1
+	// StateNLOS is non line of sight.
+	StateNLOS
+	// StateOutage means no detectable path exists.
+	StateOutage
+)
+
+// String implements fmt.Stringer.
+func (s LinkState) String() string {
+	switch s {
+	case StateLOS:
+		return "LOS"
+	case StateNLOS:
+		return "NLOS"
+	case StateOutage:
+		return "outage"
+	default:
+		return fmt.Sprintf("LinkState(%d)", int(s))
+	}
+}
+
+// PathLossParams holds the floating-intercept path-loss model
+// PL(d)[dB] = α + β·10·log10(d) + ξ, ξ ~ N(0, σ²) of Akdeniz et al.,
+// plus the distance-dependent LOS/NLOS/outage state probabilities
+// p_out(d) = max(0, 1 − e^{−a_out·d + b_out}),
+// p_los(d) = (1 − p_out(d))·e^{−a_los·d}.
+type PathLossParams struct {
+	// AlphaLOS, BetaLOS, SigmaLOS parameterize the LOS branch.
+	AlphaLOS, BetaLOS, SigmaLOS float64
+	// AlphaNLOS, BetaNLOS, SigmaNLOS parameterize the NLOS branch.
+	AlphaNLOS, BetaNLOS, SigmaNLOS float64
+	// AOut, BOut, ALos parameterize the state probabilities.
+	AOut, BOut, ALos float64
+}
+
+// DefaultPathLoss28 returns the 28 GHz NYC fit.
+func DefaultPathLoss28() PathLossParams {
+	return PathLossParams{
+		AlphaLOS: 61.4, BetaLOS: 2.0, SigmaLOS: 5.8,
+		AlphaNLOS: 72.0, BetaNLOS: 2.92, SigmaNLOS: 8.7,
+		AOut: 1.0 / 30.0, BOut: 5.2, ALos: 1.0 / 67.1,
+	}
+}
+
+// DrawState samples the link state at distance d meters.
+func (p PathLossParams) DrawState(src *rng.Source, d float64) LinkState {
+	pOut := math.Max(0, 1-math.Exp(-p.AOut*d+p.BOut))
+	if src.Bernoulli(pOut) {
+		return StateOutage
+	}
+	pLOS := math.Exp(-p.ALos * d)
+	if src.Bernoulli(pLOS) {
+		return StateLOS
+	}
+	return StateNLOS
+}
+
+// PathLossDB samples the path loss in dB at distance d meters for the
+// given state. Outage returns +Inf. Distances below 1 m are clamped to
+// 1 m (the model intercept).
+func (p PathLossParams) PathLossDB(src *rng.Source, d float64, s LinkState) float64 {
+	if d < 1 {
+		d = 1
+	}
+	switch s {
+	case StateLOS:
+		return p.AlphaLOS + p.BetaLOS*10*math.Log10(d) + src.NormalScaled(0, p.SigmaLOS)
+	case StateNLOS:
+		return p.AlphaNLOS + p.BetaNLOS*10*math.Log10(d) + src.NormalScaled(0, p.SigmaNLOS)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// LinkBudget converts a transmit configuration into the pre-beamforming
+// per-measurement SNR γ = E_s/N₀ used by the measurement model.
+type LinkBudget struct {
+	// TXPowerDBm is the transmit power in dBm. Typical mmWave BS: 30.
+	TXPowerDBm float64
+	// BandwidthHz is the signal bandwidth. Typical: 1 GHz.
+	BandwidthHz float64
+	// NoiseFigureDB is the receiver noise figure. Typical: 7.
+	NoiseFigureDB float64
+}
+
+// thermalNoiseDBmPerHz is kT at 290 K in dBm/Hz.
+const thermalNoiseDBmPerHz = -174.0
+
+// SNRLinear returns the pre-beamforming SNR (linear) for a given path
+// loss in dB. Infinite path loss (outage) returns 0.
+func (b LinkBudget) SNRLinear(pathLossDB float64) float64 {
+	if math.IsInf(pathLossDB, 1) {
+		return 0
+	}
+	noiseDBm := thermalNoiseDBmPerHz + 10*math.Log10(b.BandwidthHz) + b.NoiseFigureDB
+	snrDB := b.TXPowerDBm - pathLossDB - noiseDBm
+	return math.Pow(10, snrDB/10)
+}
+
+// DBToLinear converts decibels to a linear power ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to decibels; zero or negative
+// input returns -Inf.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}

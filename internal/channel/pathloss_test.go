@@ -1,0 +1,125 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/rng"
+)
+
+func TestLinkStateString(t *testing.T) {
+	tests := []struct {
+		s    LinkState
+		want string
+	}{
+		{StateLOS, "LOS"},
+		{StateNLOS, "NLOS"},
+		{StateOutage, "outage"},
+		{LinkState(0), "LinkState(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestDrawStateDistanceTrend(t *testing.T) {
+	p := DefaultPathLoss28()
+	src := rng.New(40)
+	count := func(d float64, want LinkState) float64 {
+		hits := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if p.DrawState(src, d) == want {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	// LOS probability must decrease with distance.
+	losNear := count(20, StateLOS)
+	losFar := count(200, StateLOS)
+	if losNear <= losFar {
+		t.Errorf("LOS fraction near=%g far=%g; should decrease", losNear, losFar)
+	}
+	// Outage must grow with distance and be negligible up close.
+	outNear := count(20, StateOutage)
+	outFar := count(400, StateOutage)
+	if outNear > 0.01 {
+		t.Errorf("outage at 20m = %g, want ~0", outNear)
+	}
+	if outFar < outNear {
+		t.Errorf("outage near=%g far=%g; should increase", outNear, outFar)
+	}
+}
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	p := DefaultPathLoss28()
+	// Use the deterministic part by averaging shadowing away.
+	src := rng.New(41)
+	avg := func(d float64, s LinkState) float64 {
+		var sum float64
+		const n = 3000
+		for i := 0; i < n; i++ {
+			sum += p.PathLossDB(src, d, s)
+		}
+		return sum / n
+	}
+	if near, far := avg(50, StateNLOS), avg(200, StateNLOS); near >= far {
+		t.Errorf("NLOS path loss near=%g far=%g; should increase", near, far)
+	}
+	if los, nlos := avg(100, StateLOS), avg(100, StateNLOS); los >= nlos {
+		t.Errorf("LOS loss %g should be below NLOS loss %g", los, nlos)
+	}
+}
+
+func TestPathLossOutageInfinite(t *testing.T) {
+	p := DefaultPathLoss28()
+	if pl := p.PathLossDB(rng.New(42), 100, StateOutage); !math.IsInf(pl, 1) {
+		t.Errorf("outage path loss = %g, want +Inf", pl)
+	}
+}
+
+func TestPathLossClampsShortDistance(t *testing.T) {
+	p := DefaultPathLoss28()
+	p.SigmaLOS = 0 // deterministic
+	src := rng.New(43)
+	at0 := p.PathLossDB(src, 0.01, StateLOS)
+	at1 := p.PathLossDB(src, 1, StateLOS)
+	if at0 != at1 {
+		t.Errorf("path loss below 1m (%g) differs from 1m (%g)", at0, at1)
+	}
+}
+
+func TestLinkBudgetSNR(t *testing.T) {
+	b := LinkBudget{TXPowerDBm: 30, BandwidthHz: 1e9, NoiseFigureDB: 7}
+	// Noise floor: -174 + 90 + 7 = -77 dBm. With 100 dB path loss the
+	// pre-beamforming SNR is 30 - 100 + 77 = 7 dB.
+	got := b.SNRLinear(100)
+	want := math.Pow(10, 0.7)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("SNR = %g, want %g", got, want)
+	}
+	if b.SNRLinear(math.Inf(1)) != 0 {
+		t.Error("outage SNR should be 0")
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if got := DBToLinear(10); math.Abs(got-10) > 1e-12 {
+		t.Errorf("DBToLinear(10) = %g", got)
+	}
+	if got := LinearToDB(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("LinearToDB(100) = %g", got)
+	}
+	if !math.IsInf(LinearToDB(0), -1) {
+		t.Error("LinearToDB(0) should be -Inf")
+	}
+	// Round trip.
+	for _, db := range []float64{-30, -3, 0, 12.5} {
+		if got := LinearToDB(DBToLinear(db)); math.Abs(got-db) > 1e-9 {
+			t.Errorf("round trip %g -> %g", db, got)
+		}
+	}
+}

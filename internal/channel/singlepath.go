@@ -1,0 +1,47 @@
+package channel
+
+import (
+	"math"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/rng"
+)
+
+// SinglePathSpec configures the single-path channel scenario of the
+// paper's Fig. 5/7 evaluation: one dominant specular path with a random
+// geometry.
+type SinglePathSpec struct {
+	// AzSpan and ElSpan bound the random angles: azimuths are uniform in
+	// [−AzSpan/2, AzSpan/2], elevations in [−ElSpan/2, ElSpan/2]. Zero
+	// values default to the hemisphere used by the codebooks (π and π/2).
+	AzSpan, ElSpan float64
+}
+
+// withDefaults fills zero fields.
+func (s SinglePathSpec) withDefaults() SinglePathSpec {
+	if s.AzSpan == 0 {
+		s.AzSpan = math.Pi
+	}
+	if s.ElSpan == 0 {
+		s.ElSpan = math.Pi / 2
+	}
+	return s
+}
+
+// NewSinglePath draws a single-path channel with uniformly random AoD and
+// AoA inside the spec's angular spans.
+func NewSinglePath(src *rng.Source, tx, rx antenna.Array, spec SinglePathSpec) (*Channel, error) {
+	spec = spec.withDefaults()
+	p := Path{
+		Power: 1,
+		AoD: antenna.Direction{
+			Az: src.Uniform(-spec.AzSpan/2, spec.AzSpan/2),
+			El: src.Uniform(-spec.ElSpan/2, spec.ElSpan/2),
+		},
+		AoA: antenna.Direction{
+			Az: src.Uniform(-spec.AzSpan/2, spec.AzSpan/2),
+			El: src.Uniform(-spec.ElSpan/2, spec.ElSpan/2),
+		},
+	}
+	return New(tx, rx, []Path{p})
+}

@@ -1,0 +1,208 @@
+package cmat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// reconstruct rebuilds V·diag(vals)·Vᴴ from an eigendecomposition.
+func reconstruct(e Eigen) *Matrix {
+	n := len(e.Values)
+	out := New(n, n)
+	for j := 0; j < n; j++ {
+		v := e.Vectors.Col(j)
+		out.AddInPlace(complex(e.Values[j], 0), v.Outer(v))
+	}
+	return out
+}
+
+func TestEigHermitianReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		h := randHermitian(r, n)
+		e, err := EigHermitian(h)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := reconstruct(e)
+		if !rec.ApproxEqual(h, 1e-9*(1+h.FrobeniusNorm())) {
+			t.Errorf("n=%d: VΛVᴴ != A (err %g)", n, rec.Sub(h).FrobeniusNorm())
+		}
+	}
+}
+
+func TestEigHermitianOrthonormalVectors(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	h := randHermitian(r, 12)
+	e, err := EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram := e.Vectors.ConjTranspose().Mul(e.Vectors)
+	if !gram.ApproxEqual(Identity(12), 1e-10) {
+		t.Error("eigenvectors are not orthonormal")
+	}
+}
+
+func TestEigHermitianSortedDescending(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	h := randHermitian(r, 10)
+	e, err := EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(e.Values))) {
+		t.Errorf("eigenvalues not descending: %v", e.Values)
+	}
+}
+
+func TestEigHermitianKnownDiagonal(t *testing.T) {
+	h := Diag([]complex128{3, -1, 7})
+	e, err := EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 3, -1}
+	for i := range want {
+		if math.Abs(e.Values[i]-want[i]) > 1e-12 {
+			t.Errorf("value[%d] = %g, want %g", i, e.Values[i], want[i])
+		}
+	}
+}
+
+func TestEigHermitianKnown2x2(t *testing.T) {
+	// [[2, i],[-i, 2]] has eigenvalues 3 and 1.
+	h := FromRows([][]complex128{{2, 1i}, {-1i, 2}})
+	e, err := EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Errorf("values = %v, want [3 1]", e.Values)
+	}
+	// Verify the eigenvector equation A v = λ v.
+	for j := 0; j < 2; j++ {
+		v := e.Vectors.Col(j)
+		lhs := h.MulVec(v)
+		rhs := v.Scale(complex(e.Values[j], 0))
+		if !lhs.ApproxEqual(rhs, 1e-12) {
+			t.Errorf("Av != λv for eigenpair %d", j)
+		}
+	}
+}
+
+func TestEigHermitianTraceInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 10; i++ {
+		n := 2 + r.Intn(14)
+		h := randHermitian(r, n)
+		e, err := EigHermitian(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range e.Values {
+			sum += v
+		}
+		if math.Abs(sum-real(h.Trace())) > 1e-9*(1+math.Abs(sum)) {
+			t.Fatalf("n=%d: eigenvalue sum %g != trace %g", n, sum, real(h.Trace()))
+		}
+	}
+}
+
+func TestEigHermitianPSDRank(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	n, rank := 10, 3
+	p := randPSD(r, n, rank)
+	e, err := EigHermitian(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rank; i++ {
+		if e.Values[i] <= 1e-9 {
+			t.Errorf("eigenvalue %d = %g should be positive", i, e.Values[i])
+		}
+	}
+	for i := rank; i < n; i++ {
+		if math.Abs(e.Values[i]) > 1e-8*e.Values[0] {
+			t.Errorf("eigenvalue %d = %g should be ~0 for rank-%d matrix", i, e.Values[i], rank)
+		}
+	}
+}
+
+func TestEigHermitianZeroAndEmpty(t *testing.T) {
+	e, err := EigHermitian(New(0, 0))
+	if err != nil || len(e.Values) != 0 {
+		t.Errorf("empty: %v %v", e.Values, err)
+	}
+	e, err = EigHermitian(New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Errorf("zero matrix eigenvalue %g", v)
+		}
+	}
+}
+
+func TestTopEigenvector(t *testing.T) {
+	// Rank-1 PSD: Q = u uᴴ — the top eigenvector must align with u.
+	u := Vector{1, 1i, -1}.Normalize()
+	q := u.Outer(u)
+	v, lambda, err := TopEigenvector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-1) > 1e-10 {
+		t.Errorf("top eigenvalue = %g, want 1", lambda)
+	}
+	// Alignment up to a global phase: |<u,v>| ≈ 1.
+	if a := math.Abs(realAbs(u.Dot(v))); math.Abs(a-1) > 1e-10 {
+		t.Errorf("|<u,v>| = %g, want 1", a)
+	}
+}
+
+func realAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func TestPowerIterationMatchesJacobi(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	for i := 0; i < 10; i++ {
+		n := 3 + r.Intn(12)
+		p := randPSD(r, n, 1+r.Intn(3))
+		_, wantLambda, err := TopEigenvector(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gotLambda := PowerIterationTop(p, nil, 500, 1e-12)
+		if math.Abs(gotLambda-wantLambda) > 1e-6*(1+wantLambda) {
+			t.Fatalf("power iteration λ=%g, jacobi λ=%g", gotLambda, wantLambda)
+		}
+	}
+}
+
+func TestPowerIterationZeroMatrix(t *testing.T) {
+	_, lambda := PowerIterationTop(New(4, 4), nil, 10, 1e-9)
+	if lambda != 0 {
+		t.Errorf("λ = %g, want 0", lambda)
+	}
+}
+
+func TestEigHermitianLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large eigendecomposition in -short mode")
+	}
+	r := rand.New(rand.NewSource(26))
+	h := randHermitian(r, 64)
+	e, err := EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reconstruct(e).ApproxEqual(h, 1e-8*(1+h.FrobeniusNorm())) {
+		t.Error("64x64 reconstruction failed")
+	}
+}

@@ -1,0 +1,138 @@
+package cmat
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// LUResult holds an LU factorization with partial pivoting:
+// P·A = L·U, where P is the permutation encoded by Perm (row i of P·A is
+// row Perm[i] of A), L is unit lower triangular and U upper triangular.
+// L and U are packed into a single matrix (L's unit diagonal implicit).
+type LUResult struct {
+	lu   *Matrix
+	Perm []int
+	// swaps counts row exchanges (determinant sign).
+	swaps int
+}
+
+// LU computes the factorization. Returns ErrSingular (wrapped) when a
+// pivot column is exactly zero. Panics if a is not square.
+func LU(a *Matrix) (*LUResult, error) {
+	a.checkSquare()
+	n := a.Rows()
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	res := &LUResult{lu: lu, Perm: perm}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest modulus at or below the diagonal.
+		piv, pivAbs := col, cmplx.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := cmplx.Abs(lu.At(r, col)); a > pivAbs {
+				piv, pivAbs = r, a
+			}
+		}
+		if pivAbs == 0 {
+			return nil, fmt.Errorf("lu: zero pivot in column %d: %w", col, ErrSingular)
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				v := lu.At(col, j)
+				lu.Set(col, j, lu.At(piv, j))
+				lu.Set(piv, j, v)
+			}
+			perm[col], perm[piv] = perm[piv], perm[col]
+			res.swaps++
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := lu.At(r, col) * inv
+			lu.Set(r, col, factor)
+			for j := col + 1; j < n; j++ {
+				lu.Set(r, j, lu.At(r, j)-factor*lu.At(col, j))
+			}
+		}
+	}
+	return res, nil
+}
+
+// Solve solves A·x = b using the factorization.
+func (f *LUResult) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("lu: rhs length %d, want %d", len(b), n)
+	}
+	// Forward substitution on L·y = P·b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[f.Perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution on U·x = y.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		piv := f.lu.At(i, i)
+		if piv == 0 {
+			return nil, fmt.Errorf("lu: zero diagonal at %d: %w", i, ErrSingular)
+		}
+		x[i] = s / piv
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUResult) Det() complex128 {
+	det := complex(1, 0)
+	if f.swaps%2 == 1 {
+		det = -det
+	}
+	n := f.lu.Rows()
+	for i := 0; i < n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Det returns the determinant of a square matrix (0 for singular input).
+func Det(a *Matrix) complex128 {
+	f, err := LU(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// Inverse returns A⁻¹ via LU factorization. Returns ErrSingular
+// (wrapped) for singular input. Panics if a is not square.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	out := New(n, n)
+	e := make(Vector, n)
+	for col := 0; col < n; col++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[col] = 1
+		x, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(col, x)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestLUSolveRandomSystems(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(12)
+		a := randMat(r, n, n).Add(Identity(n).Scale(2))
+		want := randVec(r, n)
+		f, err := LU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Solve(a.MulVec(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.ApproxEqual(want, 1e-8*(1+want.Norm())) {
+			t.Fatalf("n=%d: LU solve failed", n)
+		}
+	}
+}
+
+func TestLUSolveNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row exchange.
+	a := FromRows([][]complex128{
+		{0, 1},
+		{1, 1},
+	})
+	f, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{2 + 1i, -3}
+	got, err := f.Solve(a.MulVec(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	if _, err := LU(New(3, 3)); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	// Rank-1 matrix.
+	v := Vector{1, 2, 3}
+	if _, err := LU(v.Outer(v)); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-1: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSolveRHSLengthMismatch(t *testing.T) {
+	f, err := LU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(Vector{1}); err == nil {
+		t.Error("short rhs accepted")
+	}
+}
+
+func TestDetKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		m    *Matrix
+		want complex128
+	}{
+		{"identity", Identity(4), 1},
+		{"diag", Diag([]complex128{2, 3i, -1}), 2 * 3i * -1},
+		{"swap rows", FromRows([][]complex128{{0, 1}, {1, 0}}), -1},
+		{"singular", New(2, 2), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Det(tt.m); cmplx.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Det = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDetMultiplicative(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	a := randMat(r, 5, 5)
+	b := randMat(r, 5, 5)
+	left := Det(a.Mul(b))
+	right := Det(a) * Det(b)
+	if cmplx.Abs(left-right) > 1e-8*(1+cmplx.Abs(left)) {
+		t.Errorf("det(AB)=%v, det(A)det(B)=%v", left, right)
+	}
+}
+
+func TestDetMatchesEigenvaluesForHermitian(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	h := randHermitian(r, 6)
+	e, err := EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := 1.0
+	for _, v := range e.Values {
+		prod *= v
+	}
+	if got := Det(h); math.Abs(real(got)-prod) > 1e-8*(1+math.Abs(prod)) || math.Abs(imag(got)) > 1e-8*(1+math.Abs(prod)) {
+		t.Errorf("Det = %v, eigenvalue product = %g", got, prod)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	a := randMat(r, 6, 6).Add(Identity(6).Scale(3))
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).ApproxEqual(Identity(6), 1e-9) {
+		t.Error("A·A⁻¹ != I")
+	}
+	if !inv.Mul(a).ApproxEqual(Identity(6), 1e-9) {
+		t.Error("A⁻¹·A != I")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	if _, err := Inverse(New(2, 2)); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseMatchesSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(84))
+	a := randMat(r, 5, 5).Add(Identity(5).Scale(2))
+	b := randVec(r, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := inv.MulVec(b)
+	x2, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x1.ApproxEqual(x2, 1e-8*(1+x2.Norm())) {
+		t.Error("inverse-based solve disagrees with QR solve")
+	}
+}

@@ -1,0 +1,358 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense complex matrix stored in row-major order.
+type Matrix struct {
+	rows, cols int
+	data       []complex128
+}
+
+// New returns a zero rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("cmat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of rows. All rows must have the
+// same length. The input is copied.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("cmat: ragged rows: row %d has %d entries, want %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []complex128) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) complex128 {
+	m.checkIndex(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v complex128) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// AddAt adds v to the (i, j) entry in place.
+func (m *Matrix) AddAt(i, j int, v complex128) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) Vector {
+	m.checkIndex(i, 0)
+	out := make(Vector, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	m.checkIndex(0, j)
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v. Panics if len(v) != Rows().
+func (m *Matrix) SetCol(j int, v Vector) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("cmat: SetCol length %d, want %d", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Add returns m + b. Panics on shape mismatch.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.checkSameShape(b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m - b. Panics on shape mismatch.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.checkSameShape(b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns a*m.
+func (m *Matrix) Scale(a complex128) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = a * m.data[i]
+	}
+	return out
+}
+
+// AddInPlace adds a*b to m in place. Panics on shape mismatch.
+func (m *Matrix) AddInPlace(a complex128, b *Matrix) {
+	m.checkSameShape(b)
+	for i := range m.data {
+		m.data[i] += a * b.data[i]
+	}
+}
+
+// Mul returns the matrix product m·b. Panics if m.Cols() != b.Rows().
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("cmat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v. Panics if m.Cols() != len(v).
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("cmat: MulVec shape mismatch %dx%d · %d", m.rows, m.cols, len(v)))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s complex128
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ConjTranspose returns the Hermitian transpose mᴴ.
+func (m *Matrix) ConjTranspose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = cmplx.Conj(m.data[i*m.cols+j])
+		}
+	}
+	return out
+}
+
+// Transpose returns the plain transpose mᵀ (no conjugation).
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal entries. Panics if m is not square.
+func (m *Matrix) Trace() complex128 {
+	m.checkSquare()
+	var s complex128
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+i]
+	}
+	return s
+}
+
+// FrobeniusNorm returns ‖m‖_F.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest entry modulus, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.data {
+		if a := cmplx.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// OffDiagNorm returns the Frobenius norm of the off-diagonal part.
+// Panics if m is not square.
+func (m *Matrix) OffDiagNorm() float64 {
+	m.checkSquare()
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if i == j {
+				continue
+			}
+			v := m.data[i*m.cols+j]
+			re, im := real(v), imag(v)
+			s += re*re + im*im
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// IsHermitian reports whether ‖m - mᴴ‖_max ≤ tol. Panics if m is not square.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	m.checkSquare()
+	for i := 0; i < m.rows; i++ {
+		for j := i; j < m.cols; j++ {
+			if cmplx.Abs(m.data[i*m.cols+j]-cmplx.Conj(m.data[j*m.cols+i])) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Hermitianize returns (m + mᴴ)/2, the nearest Hermitian matrix in
+// Frobenius norm. Panics if m is not square.
+func (m *Matrix) Hermitianize() *Matrix {
+	m.checkSquare()
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[i*m.cols+j] = (m.data[i*m.cols+j] + cmplx.Conj(m.data[j*m.cols+i])) / 2
+		}
+	}
+	return out
+}
+
+// QuadForm returns the real part of vᴴ·m·v. For Hermitian m the quadratic
+// form is exactly real; the imaginary residue from rounding is discarded.
+// Panics on shape mismatch.
+func (m *Matrix) QuadForm(v Vector) float64 {
+	if m.rows != m.cols || m.cols != len(v) {
+		panic(fmt.Sprintf("cmat: QuadForm shape mismatch %dx%d with vector %d", m.rows, m.cols, len(v)))
+	}
+	var s complex128
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var t complex128
+		for j, rv := range row {
+			t += rv * v[j]
+		}
+		s += cmplx.Conj(v[i]) * t
+	}
+	return real(s)
+}
+
+// ApproxEqual reports whether m and b share a shape and agree entrywise
+// within tol in modulus.
+func (m *Matrix) ApproxEqual(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if cmplx.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; not intended for parsing.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%.4g%+.4gi", real(m.At(i, j)), imag(m.At(i, j)))
+		}
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+func (m *Matrix) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("cmat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+func (m *Matrix) checkSameShape(b *Matrix) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("cmat: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+func (m *Matrix) checkSquare() {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("cmat: matrix %dx%d is not square", m.rows, m.cols))
+	}
+}

@@ -1,0 +1,122 @@
+package cmat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular system.
+var ErrSingular = errors.New("cmat: singular system")
+
+// QRResult holds a thin QR factorization A = Q·R with Q (Rows×Cols)
+// having orthonormal columns and R (Cols×Cols) upper triangular.
+type QRResult struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QR computes a thin QR factorization by modified Gram-Schmidt with
+// one round of reorthogonalization, which is numerically adequate for
+// the moderately sized, well-scaled systems in this library.
+// Requires Rows ≥ Cols.
+func QR(a *Matrix) (QRResult, error) {
+	rows, cols := a.Rows(), a.Cols()
+	if rows < cols {
+		return QRResult{}, fmt.Errorf("qr: need rows ≥ cols, got %dx%d", rows, cols)
+	}
+	q := a.Clone()
+	r := New(cols, cols)
+	for j := 0; j < cols; j++ {
+		v := q.Col(j)
+		// Two passes of Gram-Schmidt against previous columns.
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				qk := q.Col(k)
+				proj := qk.Dot(v)
+				r.AddAt(k, j, proj)
+				v = v.Sub(qk.Scale(proj))
+			}
+		}
+		nrm := v.Norm()
+		r.Set(j, j, complex(nrm, 0))
+		if nrm < 1e-300 {
+			// Rank-deficient column: use any orthogonal completion so Q
+			// stays orthonormal; R records the zero pivot.
+			var basis []Vector
+			for k := 0; k < j; k++ {
+				basis = append(basis, q.Col(k))
+			}
+			v = orthoComplete(rows, basis)
+		} else {
+			v = v.Scale(complex(1/nrm, 0))
+		}
+		q.SetCol(j, v)
+	}
+	return QRResult{Q: q, R: r}, nil
+}
+
+// Solve solves the square linear system a·x = b via QR factorization.
+// Returns ErrSingular (wrapped) when a pivot is numerically zero.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("solve: matrix %dx%d is not square", a.Rows(), a.Cols())
+	}
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("solve: dimension mismatch %dx%d vs rhs %d", a.Rows(), a.Cols(), len(b))
+	}
+	return SolveLS(a, b)
+}
+
+// SolveLS solves the least-squares problem min ‖a·x − b‖₂ for a with
+// Rows ≥ Cols via thin QR: x = R⁻¹ Qᴴ b.
+func SolveLS(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("solvels: dimension mismatch %dx%d vs rhs %d", a.Rows(), a.Cols(), len(b))
+	}
+	qr, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	cols := a.Cols()
+	// y = Qᴴ b
+	y := qr.Q.ConjTranspose().MulVec(b)
+	// Back substitution on R x = y.
+	x := make(Vector, cols)
+	for i := cols - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < cols; j++ {
+			s -= qr.R.At(i, j) * x[j]
+		}
+		piv := qr.R.At(i, i)
+		if cmplx.Abs(piv) < 1e-300 {
+			return nil, fmt.Errorf("solvels: zero pivot at %d: %w", i, ErrSingular)
+		}
+		x[i] = s / piv
+	}
+	return x, nil
+}
+
+// InverseHermitianPSD inverts a Hermitian positive-definite matrix via
+// its eigendecomposition, regularizing eigenvalues below eps to eps (a
+// pseudo-inverse with a floor). Useful for whitening with estimated,
+// possibly rank-deficient covariances.
+func InverseHermitianPSD(a *Matrix, eps float64) (*Matrix, error) {
+	e, err := EigHermitian(a)
+	if err != nil {
+		return nil, fmt.Errorf("psd inverse: %w", err)
+	}
+	n := a.Rows()
+	out := New(n, n)
+	for j := 0; j < n; j++ {
+		lambda := math.Max(e.Values[j], eps)
+		if lambda <= 0 {
+			return nil, fmt.Errorf("psd inverse: eigenvalue %g with eps %g: %w", e.Values[j], eps, ErrSingular)
+		}
+		v := e.Vectors.Col(j)
+		out.AddInPlace(complex(1/lambda, 0), v.Outer(v))
+	}
+	return out, nil
+}

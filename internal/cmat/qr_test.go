@@ -1,0 +1,161 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	shapes := [][2]int{{1, 1}, {4, 4}, {7, 3}, {10, 10}}
+	for _, sh := range shapes {
+		a := randMat(r, sh[0], sh[1])
+		res, err := QR(a)
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		if !res.Q.Mul(res.R).ApproxEqual(a, 1e-10*(1+a.FrobeniusNorm())) {
+			t.Errorf("shape %v: QR != A", sh)
+		}
+		if g := res.Q.ConjTranspose().Mul(res.Q); !g.ApproxEqual(Identity(sh[1]), 1e-10) {
+			t.Errorf("shape %v: QᴴQ != I", sh)
+		}
+		// R upper triangular.
+		for i := 0; i < sh[1]; i++ {
+			for j := 0; j < i; j++ {
+				if cmplx.Abs(res.R.At(i, j)) > 1e-12 {
+					t.Errorf("shape %v: R[%d][%d] below diagonal nonzero", sh, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	if _, err := QR(New(2, 5)); err == nil {
+		t.Error("expected error for wide matrix")
+	}
+}
+
+func TestQRRankDeficientKeepsOrthonormalQ(t *testing.T) {
+	// Two identical columns.
+	a := New(4, 2)
+	v := Vector{1, 2, 3, 4}
+	a.SetCol(0, v)
+	a.SetCol(1, v)
+	res, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.Q.ConjTranspose().Mul(res.Q); !g.ApproxEqual(Identity(2), 1e-9) {
+		t.Error("QᴴQ != I on rank-deficient input")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]complex128{
+		{2, 1},
+		{1, 3},
+	})
+	want := Vector{1 + 1i, -2}
+	b := a.MulVec(want)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(want, 1e-10) {
+		t.Errorf("Solve = %v, want %v", got, want)
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < 20; i++ {
+		n := 1 + r.Intn(12)
+		a := randMat(r, n, n).Add(Identity(n).Scale(3)) // well-conditioned
+		want := randVec(r, n)
+		got, err := Solve(a, a.MulVec(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.ApproxEqual(want, 1e-8*(1+want.Norm())) {
+			t.Fatalf("n=%d: solve residual too large", n)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := New(2, 2) // zero matrix
+	if _, err := Solve(a, Vector{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(New(2, 3), Vector{1, 1}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	if _, err := Solve(New(2, 2), Vector{1}); err == nil {
+		t.Error("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveLSOverdetermined(t *testing.T) {
+	// Exactly consistent overdetermined system recovers x.
+	r := rand.New(rand.NewSource(52))
+	a := randMat(r, 9, 4)
+	want := randVec(r, 4)
+	got, err := SolveLS(a, a.MulVec(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(want, 1e-8*(1+want.Norm())) {
+		t.Error("least squares failed on consistent system")
+	}
+}
+
+func TestSolveLSResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space.
+	r := rand.New(rand.NewSource(53))
+	a := randMat(r, 8, 3)
+	b := randVec(r, 8)
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := b.Sub(a.MulVec(x))
+	proj := a.ConjTranspose().MulVec(res)
+	if proj.Norm() > 1e-8*(1+b.Norm()) {
+		t.Errorf("Aᴴ(b-Ax) norm = %g, want ~0", proj.Norm())
+	}
+}
+
+func TestInverseHermitianPSD(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	p := randPSD(r, 6, 6).Add(Identity(6)) // positive definite
+	inv, err := InverseHermitianPSD(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Mul(inv).ApproxEqual(Identity(6), 1e-8) {
+		t.Error("A·A⁻¹ != I")
+	}
+}
+
+func TestInverseHermitianPSDFloor(t *testing.T) {
+	// Singular input with eps floor yields a bounded pseudo-inverse.
+	p := Diag([]complex128{2, 0})
+	inv, err := InverseHermitianPSD(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := real(inv.At(1, 1)); math.Abs(got-2) > 1e-10 {
+		t.Errorf("floored inverse entry = %g, want 2 (=1/eps)", got)
+	}
+	if got := real(inv.At(0, 0)); math.Abs(got-0.5) > 1e-10 {
+		t.Errorf("inverse entry = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,184 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᴴ.
+// U is Rows×k and V is Cols×k with k = min(Rows, Cols); S is sorted in
+// descending order.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin singular value decomposition of a general complex
+// matrix via the Hermitian eigendecomposition of its Gram matrix. For the
+// wide case (rows < cols) the Gram matrix A·Aᴴ is used so the eigenproblem
+// stays at min-dimension size.
+//
+// Singular vectors for numerically zero singular values are completed by
+// Gram-Schmidt against the computed ones so U and V always have k
+// orthonormal columns.
+func SVD(a *Matrix) (SVDResult, error) {
+	rows, cols := a.Rows(), a.Cols()
+	if rows == 0 || cols == 0 {
+		return SVDResult{U: New(rows, 0), S: nil, V: New(cols, 0)}, nil
+	}
+	if rows < cols {
+		// A = U S Vᴴ  ⇔  Aᴴ = V S Uᴴ.
+		r, err := SVD(a.ConjTranspose())
+		if err != nil {
+			return SVDResult{}, err
+		}
+		return SVDResult{U: r.V, S: r.S, V: r.U}, nil
+	}
+
+	gram := a.ConjTranspose().Mul(a) // cols×cols, Hermitian PSD
+	eig, err := EigHermitian(gram)
+	if err != nil {
+		return SVDResult{}, fmt.Errorf("svd of %dx%d matrix: %w", rows, cols, err)
+	}
+
+	k := cols
+	s := make([]float64, k)
+	for i, lambda := range eig.Values {
+		if lambda < 0 {
+			lambda = 0 // rounding may drive tiny eigenvalues negative
+		}
+		s[i] = math.Sqrt(lambda)
+	}
+
+	v := eig.Vectors
+	u := New(rows, k)
+	// Numerical rank cutoff relative to the largest singular value.
+	cutoff := 0.0
+	if k > 0 {
+		cutoff = s[0] * 1e-12
+	}
+	var filled []Vector
+	for j := 0; j < k; j++ {
+		if s[j] > cutoff && s[j] > 0 {
+			col := a.MulVec(v.Col(j)).Scale(complex(1/s[j], 0))
+			u.SetCol(j, col)
+			filled = append(filled, col)
+		}
+	}
+	// Complete the null-space columns of U orthonormally.
+	for j := 0; j < k; j++ {
+		if s[j] > cutoff && s[j] > 0 {
+			continue
+		}
+		col := orthoComplete(rows, filled)
+		u.SetCol(j, col)
+		filled = append(filled, col)
+	}
+	return SVDResult{U: u, S: s, V: v}, nil
+}
+
+// orthoComplete returns a unit vector of length n orthogonal to every
+// vector in basis, found by Gram-Schmidt over deterministic trial vectors.
+func orthoComplete(n int, basis []Vector) Vector {
+	for trial := 0; trial < n+len(basis)+1; trial++ {
+		cand := make(Vector, n)
+		// Deterministic trial vectors: standard basis first, then a
+		// dense fallback pattern.
+		if trial < n {
+			cand[trial] = 1
+		} else {
+			for i := range cand {
+				cand[i] = complex(math.Cos(float64((trial+1)*(i+1))), math.Sin(float64(trial+i)))
+			}
+		}
+		for _, b := range basis {
+			cand = cand.Sub(b.Scale(b.Dot(cand)))
+		}
+		if cand.Norm() > 1e-6 {
+			return cand.Normalize()
+		}
+	}
+	// Unreachable for len(basis) < n; return a valid unit vector anyway.
+	out := make(Vector, n)
+	if n > 0 {
+		out[0] = 1
+	}
+	return out
+}
+
+// NuclearNorm returns the sum of singular values of a.
+func NuclearNorm(a *Matrix) (float64, error) {
+	r, err := SVD(a)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range r.S {
+		s += v
+	}
+	return s, nil
+}
+
+// Rank returns the number of singular values above tol·σ_max. Hermitian
+// input is detected and handled through the eigendecomposition directly,
+// which preserves full precision; general matrices go through the
+// Gram-based SVD, whose small singular values are only accurate to about
+// the square root of machine precision — use tol ≥ 1e-7 there.
+func Rank(a *Matrix, tol float64) (int, error) {
+	var sv []float64
+	if a.Rows() == a.Cols() && a.IsHermitian(1e-12*math.Max(a.MaxAbs(), 1)) {
+		e, err := EigHermitian(a)
+		if err != nil {
+			return 0, err
+		}
+		sv = make([]float64, len(e.Values))
+		for i, v := range e.Values {
+			sv[i] = math.Abs(v)
+		}
+	} else {
+		r, err := SVD(a)
+		if err != nil {
+			return 0, err
+		}
+		sv = r.S
+	}
+	var max float64
+	for _, v := range sv {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 0, nil
+	}
+	cut := tol * max
+	n := 0
+	for _, v := range sv {
+		if v > cut {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SingularValueThreshold applies the soft-thresholding operator
+// D_tau(A) = U·diag(max(S−tau, 0))·Vᴴ, the proximal operator of the
+// nuclear norm. Used by the SVT matrix-completion solver.
+func SingularValueThreshold(a *Matrix, tau float64) (*Matrix, error) {
+	r, err := SVD(a)
+	if err != nil {
+		return nil, err
+	}
+	k := len(r.S)
+	out := New(a.Rows(), a.Cols())
+	for j := 0; j < k; j++ {
+		sv := r.S[j] - tau
+		if sv <= 0 {
+			continue
+		}
+		uj, vj := r.U.Col(j), r.V.Col(j)
+		out.AddInPlace(complex(sv, 0), uj.Outer(vj))
+	}
+	return out, nil
+}

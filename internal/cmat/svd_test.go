@@ -1,0 +1,296 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func svdReconstruct(r SVDResult, rows, cols int) *Matrix {
+	out := New(rows, cols)
+	for j := range r.S {
+		if r.S[j] == 0 {
+			continue
+		}
+		out.AddInPlace(complex(r.S[j], 0), r.U.Col(j).Outer(r.V.Col(j)))
+	}
+	return out
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	shapes := [][2]int{{1, 1}, {3, 3}, {5, 2}, {2, 5}, {8, 8}, {10, 4}, {4, 10}}
+	for _, sh := range shapes {
+		a := randMat(r, sh[0], sh[1])
+		res, err := SVD(a)
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		rec := svdReconstruct(res, sh[0], sh[1])
+		if !rec.ApproxEqual(a, 1e-9*(1+a.FrobeniusNorm())) {
+			t.Errorf("shape %v: UΣVᴴ != A (err %g)", sh, rec.Sub(a).FrobeniusNorm())
+		}
+	}
+}
+
+func TestSVDOrthonormalFactors(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	a := randMat(r, 7, 4)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.U.ConjTranspose().Mul(res.U); !g.ApproxEqual(Identity(4), 1e-9) {
+		t.Error("UᴴU != I")
+	}
+	if g := res.V.ConjTranspose().Mul(res.V); !g.ApproxEqual(Identity(4), 1e-9) {
+		t.Error("VᴴV != I")
+	}
+}
+
+func TestSVDSingularValuesSortedNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	a := randMat(r, 6, 9)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(res.S))) {
+		t.Errorf("singular values not descending: %v", res.S)
+	}
+	for _, s := range res.S {
+		if s < 0 {
+			t.Errorf("negative singular value %g", s)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: exactly one nonzero singular value.
+	u := Vector{1, 2i, -1}.Normalize()
+	v := Vector{1, 1}.Normalize()
+	a := u.Outer(v).Scale(3)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.S[0]-3) > 1e-10 {
+		t.Errorf("σ₀ = %g, want 3", res.S[0])
+	}
+	if res.S[1] > 1e-9 {
+		t.Errorf("σ₁ = %g, want ~0", res.S[1])
+	}
+	// Even for zero singular values the factors must stay orthonormal.
+	if g := res.U.ConjTranspose().Mul(res.U); !g.ApproxEqual(Identity(2), 1e-9) {
+		t.Error("UᴴU != I on rank-deficient input")
+	}
+	rec := svdReconstruct(res, 3, 2)
+	if !rec.ApproxEqual(a, 1e-9) {
+		t.Error("rank-1 reconstruction failed")
+	}
+}
+
+func TestSVDFrobeniusIdentity(t *testing.T) {
+	// ‖A‖_F² = Σ σᵢ².
+	r := rand.New(rand.NewSource(33))
+	a := randMat(r, 5, 8)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 float64
+	for _, s := range res.S {
+		s2 += s * s
+	}
+	f := a.FrobeniusNorm()
+	if math.Abs(s2-f*f) > 1e-8*(1+f*f) {
+		t.Errorf("Σσ² = %g, ‖A‖² = %g", s2, f*f)
+	}
+}
+
+func TestNuclearNormPSDEqualsTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	p := randPSD(r, 6, 2)
+	nn, err := NuclearNorm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := real(p.Trace()); math.Abs(nn-tr) > 1e-8*(1+tr) {
+		t.Errorf("nuclear norm %g != trace %g for PSD", nn, tr)
+	}
+}
+
+func TestRank(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	tests := []struct {
+		name string
+		m    *Matrix
+		want int
+	}{
+		{"zero", New(4, 4), 0},
+		{"identity", Identity(5), 5},
+		{"rank2 psd", randPSD(r, 8, 2), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Rank(tt.m, 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Rank = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSingularValueThreshold(t *testing.T) {
+	// Diagonal test case with known singular values 5, 2, 0.5.
+	a := Diag([]complex128{5, 2, 0.5})
+	got, err := SingularValueThreshold(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Diag([]complex128{4, 1, 0})
+	if !got.ApproxEqual(want, 1e-10) {
+		t.Errorf("SVT = %v, want %v", got, want)
+	}
+}
+
+func TestSingularValueThresholdShrinksNuclearNorm(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	a := randMat(r, 6, 5)
+	before, err := NuclearNorm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := SingularValueThreshold(a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NuclearNorm(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Errorf("SVT increased nuclear norm: %g -> %g", before, after)
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	res, err := SVD(New(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.S) != 0 {
+		t.Errorf("expected no singular values, got %v", res.S)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for i := 0; i < 10; i++ {
+		n := 1 + r.Intn(10)
+		// Guaranteed positive-definite: full-rank PSD + I.
+		p := randPSD(r, n, n).Add(Identity(n))
+		l, err := Cholesky(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.Mul(l.ConjTranspose()).ApproxEqual(p, 1e-9*(1+p.FrobeniusNorm())) {
+			t.Fatal("LLᴴ != A")
+		}
+		// L must be lower triangular.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if l.At(a, b) != 0 {
+					t.Fatalf("L[%d][%d] = %v above diagonal", a, b, l.At(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := Diag([]complex128{1, -1})
+	if _, err := Cholesky(m); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Errorf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestPSDSqrtRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(38))
+	// Works on singular PSD matrices, unlike Cholesky.
+	p := randPSD(r, 7, 2)
+	s, err := PSDSqrt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Mul(s.ConjTranspose()).ApproxEqual(p, 1e-9*(1+p.FrobeniusNorm())) {
+		t.Error("SSᴴ != A")
+	}
+	if !s.IsHermitian(1e-10) {
+		t.Error("PSDSqrt result is not Hermitian")
+	}
+}
+
+func TestProjectPSD(t *testing.T) {
+	m := Diag([]complex128{2, -3, 0.5})
+	p, err := ProjectPSD(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Diag([]complex128{2, 0, 0.5})
+	if !p.ApproxEqual(want, 1e-10) {
+		t.Errorf("ProjectPSD = %v, want %v", p, want)
+	}
+}
+
+func TestProjectPSDIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(39))
+	h := randHermitian(r, 8)
+	p1, err := ProjectPSD(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProjectPSD(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.ApproxEqual(p1, 1e-8*(1+p1.FrobeniusNorm())) {
+		t.Error("projection is not idempotent")
+	}
+}
+
+func TestEigenSoftThresholdPSD(t *testing.T) {
+	m := Diag([]complex128{5, 1, 0.2})
+	got, err := EigenSoftThresholdPSD(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Diag([]complex128{4.5, 0.5, 0})
+	if !got.ApproxEqual(want, 1e-10) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestEigenSoftThresholdReducesRank(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	// Dominant rank-1 component plus small noise; thresholding should
+	// recover something close to rank 1.
+	v := randVec(r, 8).Normalize()
+	q := v.Outer(v).Scale(10).Add(randPSD(r, 8, 8).Scale(complex(0.01, 0))).Hermitianize()
+	th, err := EigenSoftThresholdPSD(q, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := Rank(th, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 1 {
+		t.Errorf("thresholded rank = %d, want 1", rank)
+	}
+}

@@ -1,0 +1,177 @@
+package covest
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// steeringDict builds a ULA steering dictionary over a uniform azimuth
+// grid.
+func steeringDict(n, atoms int) []cmat.Vector {
+	ar := antenna.NewULA(n)
+	dict := make([]cmat.Vector, atoms)
+	for i := range dict {
+		az := -math.Pi/2 + math.Pi*(float64(i)+0.5)/float64(atoms)
+		dict[i] = ar.Steering(antenna.Direction{Az: az})
+	}
+	return dict
+}
+
+func TestOMPValidation(t *testing.T) {
+	y := cmat.Vector{1, 2}
+	if _, err := OMP(y, nil, 1, 0); err == nil {
+		t.Error("empty dictionary accepted")
+	}
+	if _, err := OMP(y, []cmat.Vector{{1, 0}}, 0, 0); err == nil {
+		t.Error("zero sparsity accepted")
+	}
+	if _, err := OMP(y, []cmat.Vector{{1}}, 1, 0); err == nil {
+		t.Error("atom length mismatch accepted")
+	}
+}
+
+func TestOMPZeroSignal(t *testing.T) {
+	r, err := OMP(cmat.NewVector(4), steeringDict(4, 8), 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Support) != 0 || r.Residual != 0 {
+		t.Errorf("zero signal: %+v", r)
+	}
+}
+
+func TestOMPRecoversPlantedSupport(t *testing.T) {
+	n := 16
+	dict := steeringDict(n, 32)
+	// y = 3·a₅ + (1+2i)·a₂₀ exactly.
+	y := dict[5].Scale(3).Add(dict[20].Scale(1 + 2i))
+	r, err := OMP(y, dict, 4, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, s := range r.Support {
+		found[s] = true
+	}
+	if !found[5] || !found[20] {
+		t.Errorf("support %v misses planted atoms {5, 20}", r.Support)
+	}
+	if r.Residual > 1e-6 {
+		t.Errorf("residual %g on noiseless input", r.Residual)
+	}
+	// Coefficients of the planted atoms must match.
+	for j, idx := range r.Support {
+		var want complex128
+		switch idx {
+		case 5:
+			want = 3
+		case 20:
+			want = 1 + 2i
+		default:
+			continue
+		}
+		got := r.Coef[j]
+		if d := got - want; real(d)*real(d)+imag(d)*imag(d) > 1e-8 {
+			t.Errorf("coef[%d] = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+func TestOMPNoisyRecovery(t *testing.T) {
+	src := rng.New(600)
+	n := 16
+	dict := steeringDict(n, 32)
+	y := dict[7].Scale(5)
+	for i := range y {
+		y[i] += src.ComplexNormal(0.01)
+	}
+	r, err := OMP(y, dict, 1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Support) != 1 || r.Support[0] != 7 {
+		t.Errorf("support = %v, want [7]", r.Support)
+	}
+}
+
+func TestOMPSparsityClamped(t *testing.T) {
+	n := 4
+	dict := steeringDict(n, 6)
+	y := dict[0].Scale(1)
+	r, err := OMP(y, dict, 100, 0) // k > n and tol 0: runs to the clamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Support) > n {
+		t.Errorf("support size %d exceeds dimension %d", len(r.Support), n)
+	}
+}
+
+func TestOMPResidualMonotone(t *testing.T) {
+	// Each added atom cannot increase the LS residual: check by running
+	// with growing k on the same signal.
+	src := rng.New(601)
+	n := 12
+	dict := steeringDict(n, 24)
+	y := cmat.Vector(src.ComplexNormalVec(n, 1))
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		r, err := OMP(y, dict, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Residual > prev+1e-9 {
+			t.Fatalf("residual grew from %g to %g at k=%d", prev, r.Residual, k)
+		}
+		prev = r.Residual
+	}
+}
+
+func TestBeamspaceEstimateFindsDirection(t *testing.T) {
+	src := rng.New(602)
+	n := 16
+	dict := steeringDict(n, 32)
+	// Channel: one path exactly on dictionary atom 11.
+	target := 11
+	gamma := 4.0
+	var snaps []cmat.Vector
+	for s := 0; s < 6; s++ {
+		g := src.ComplexNormal(1) * complex(math.Sqrt(float64(n)), 0)
+		y := dict[target].Scale(complex(math.Sqrt(gamma), 0) * g)
+		for i := range y {
+			y[i] += src.ComplexNormal(1)
+		}
+		snaps = append(snaps, y)
+	}
+	q, err := BeamspaceEstimate(snaps, dict, 2, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsHermitian(1e-9) {
+		t.Error("estimate not Hermitian")
+	}
+	// The quadratic form must peak at (or adjacent to) the target atom.
+	best, bestVal := -1, math.Inf(-1)
+	for i, d := range dict {
+		if v := q.QuadForm(d); v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	if best != target && best != target-1 && best != target+1 {
+		t.Errorf("beamspace peak at atom %d, want ~%d", best, target)
+	}
+}
+
+func TestBeamspaceEstimateValidation(t *testing.T) {
+	dict := steeringDict(4, 8)
+	if _, err := BeamspaceEstimate(nil, dict, 1, 1); err == nil {
+		t.Error("empty snapshots accepted")
+	}
+	if _, err := BeamspaceEstimate([]cmat.Vector{cmat.NewVector(4)}, dict, 1, 0); err == nil {
+		t.Error("zero gamma accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package covest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// TestEstimatePSDClosureProperty: for arbitrary (finite, non-negative)
+// energies and arbitrary unit beams, the estimator must always return a
+// Hermitian PSD matrix and never error — a closure property the
+// alignment loop depends on for robustness against adversarial or
+// corrupted measurement streams.
+func TestEstimatePSDClosureProperty(t *testing.T) {
+	const n = 6
+	est, err := NewEstimator(n, Options{Gamma: 1, MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, energiesRaw []float64) bool {
+		src := rng.New(seed)
+		if len(energiesRaw) == 0 {
+			energiesRaw = []float64{1}
+		}
+		if len(energiesRaw) > 12 {
+			energiesRaw = energiesRaw[:12]
+		}
+		obs := make([]Observation, len(energiesRaw))
+		for i, e := range energiesRaw {
+			if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+				e = 1
+			}
+			e = math.Min(e, 1e6)
+			v := cmat.Vector(src.ComplexNormalVec(n, 1)).Normalize()
+			obs[i] = Observation{V: v, Energy: e}
+		}
+		q, _, err := est.Estimate(obs, nil)
+		if err != nil {
+			return false
+		}
+		if !q.IsHermitian(1e-8 * (1 + q.MaxAbs())) {
+			return false
+		}
+		eig, err := cmat.EigHermitian(q)
+		if err != nil {
+			return false
+		}
+		for _, lam := range eig.Values {
+			if lam < -1e-8*(1+math.Abs(eig.Values[0])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompleteResidualNeverWorsensProperty: the SVT iteration must not
+// return a completion whose observed-entry residual exceeds that of the
+// zero matrix (its own starting point would achieve that).
+func TestCompleteResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		rows, cols := 6, 5
+		// Random rank-1 truth.
+		u := cmat.Vector(src.ComplexNormalVec(rows, 1))
+		v := cmat.Vector(src.ComplexNormalVec(cols, 1))
+		truth := u.Outer(v)
+		var obs []Entry
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if src.Bernoulli(0.6) {
+					obs = append(obs, Entry{Row: i, Col: j, Value: truth.At(i, j)})
+				}
+			}
+		}
+		if len(obs) == 0 {
+			return true
+		}
+		x, stats, err := Complete(rows, cols, obs, SVTOptions{MaxIters: 200})
+		if err != nil {
+			return false
+		}
+		_ = x
+		return stats.Residual <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package covest
+
+import (
+	"fmt"
+
+	"mmwalign/internal/cmat"
+)
+
+// SampleCovariance estimates the receive spatial covariance from
+// full-vector (digital beamforming) snapshots y_k = √γ·H·u + n by the
+// debiased, shrunk sample covariance
+//
+//	R̂ = (1/K)·Σ_k y_k·y_kᴴ − I            (noise floor removed)
+//	Q̂ = (1−α)·P⁺(R̂)/γ + α·(tr(R̂)/(γN))·I  (shrinkage toward scaled identity)
+//
+// where P⁺ projects onto the PSD cone. Shrinkage weight α in [0, 1]
+// stabilizes small-sample estimates; α = 0 is the raw debiased sample
+// covariance. This is the estimator a fully-digital receiver would use —
+// the upper-bound comparator for the paper's energy-only analog
+// estimator.
+func SampleCovariance(ys []cmat.Vector, gamma, alpha float64) (*cmat.Matrix, error) {
+	if len(ys) == 0 {
+		return nil, ErrNoObservations
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("covest: gamma %g must be positive", gamma)
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("covest: shrinkage %g must be in [0,1]", alpha)
+	}
+	n := len(ys[0])
+	acc := cmat.New(n, n)
+	for i, y := range ys {
+		if len(y) != n {
+			return nil, fmt.Errorf("covest: snapshot %d has dimension %d, want %d", i, len(y), n)
+		}
+		acc.AddInPlace(complex(1/float64(len(ys)), 0), y.Outer(y))
+	}
+	// Remove the unit noise floor.
+	for i := 0; i < n; i++ {
+		acc.AddAt(i, i, -1)
+	}
+	proj, err := cmat.ProjectPSD(acc.Hermitianize())
+	if err != nil {
+		return nil, fmt.Errorf("covest: sample covariance projection: %w", err)
+	}
+	q := proj.Scale(complex((1-alpha)/gamma, 0))
+	if alpha > 0 {
+		tr := real(proj.Trace())
+		iso := alpha * tr / (gamma * float64(n))
+		for i := 0; i < n; i++ {
+			q.AddAt(i, i, complex(iso, 0))
+		}
+	}
+	return q.Hermitianize(), nil
+}

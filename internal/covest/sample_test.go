@@ -1,0 +1,140 @@
+package covest
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// synthSnapshots draws y = √γ·h + n with h ~ CN(0, Q).
+func synthSnapshots(src *rng.Source, q *cmat.Matrix, gamma float64, k int) []cmat.Vector {
+	n := q.Rows()
+	sqrtQ, err := cmat.PSDSqrt(q)
+	if err != nil {
+		panic(err)
+	}
+	ys := make([]cmat.Vector, k)
+	for i := range ys {
+		w := cmat.Vector(src.ComplexNormalVec(n, 1))
+		h := sqrtQ.MulVec(w)
+		y := h.Scale(complex(math.Sqrt(gamma), 0))
+		for j := range y {
+			y[j] += src.ComplexNormal(1)
+		}
+		ys[i] = y
+	}
+	return ys
+}
+
+func TestSampleCovarianceValidation(t *testing.T) {
+	if _, err := SampleCovariance(nil, 1, 0); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("err = %v", err)
+	}
+	y := []cmat.Vector{cmat.NewVector(4)}
+	if _, err := SampleCovariance(y, 0, 0); err == nil {
+		t.Error("zero gamma accepted")
+	}
+	if _, err := SampleCovariance(y, 1, 2); err == nil {
+		t.Error("shrinkage > 1 accepted")
+	}
+	mixed := []cmat.Vector{cmat.NewVector(4), cmat.NewVector(5)}
+	if _, err := SampleCovariance(mixed, 1, 0); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+}
+
+func TestSampleCovarianceConvergesToTruth(t *testing.T) {
+	src := rng.New(400)
+	n := 8
+	v := cmat.Vector(src.ComplexNormalVec(n, 1)).Normalize()
+	truth := v.Outer(v).Scale(complex(float64(n), 0)).Hermitianize()
+	gamma := 2.0
+	ys := synthSnapshots(src, truth, gamma, 3000)
+	got, err := SampleCovariance(ys, gamma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := got.Sub(truth).FrobeniusNorm() / truth.FrobeniusNorm()
+	if rel > 0.15 {
+		t.Errorf("relative error %g with 3000 snapshots", rel)
+	}
+}
+
+func TestSampleCovariancePSDHermitian(t *testing.T) {
+	src := rng.New(401)
+	n := 6
+	truth := cmat.Identity(n)
+	ys := synthSnapshots(src, truth, 1, 5)
+	for _, alpha := range []float64{0, 0.3, 1} {
+		got, err := SampleCovariance(ys, 1, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsHermitian(1e-10) {
+			t.Fatalf("alpha=%g: not Hermitian", alpha)
+		}
+		eig, err := cmat.EigHermitian(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lam := range eig.Values {
+			if lam < -1e-9 {
+				t.Fatalf("alpha=%g: negative eigenvalue %g", alpha, lam)
+			}
+		}
+	}
+}
+
+func TestSampleCovarianceShrinkagePreservesTrace(t *testing.T) {
+	src := rng.New(402)
+	n := 6
+	v := cmat.Vector(src.ComplexNormalVec(n, 1)).Normalize()
+	truth := v.Outer(v).Scale(complex(float64(n), 0)).Hermitianize()
+	ys := synthSnapshots(src, truth, 1, 50)
+	raw, err := SampleCovariance(ys, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := SampleCovariance(ys, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trRaw, trShrunk := real(raw.Trace()), real(shrunk.Trace())
+	if math.Abs(trRaw-trShrunk) > 1e-9*(1+trRaw) {
+		t.Errorf("shrinkage changed trace: %g -> %g", trRaw, trShrunk)
+	}
+	// Full shrinkage is exactly the scaled identity.
+	iso, err := SampleCovariance(ys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cmat.Identity(n).Scale(complex(trRaw/float64(n), 0))
+	if !iso.ApproxEqual(want, 1e-9*(1+trRaw)) {
+		t.Error("alpha=1 is not the scaled identity")
+	}
+}
+
+func TestSampleCovarianceIdentifiesDirectionFewSnapshots(t *testing.T) {
+	// The digital receiver's entire advantage: even a handful of vector
+	// snapshots pins the dominant direction.
+	src := rng.New(403)
+	n := 16
+	q, beams, target := rank1Fixture(n)
+	ys := synthSnapshots(src, q, 1, 4)
+	got, err := SampleCovariance(ys, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestVal := -1, math.Inf(-1)
+	for i, v := range beams {
+		if g := got.QuadForm(v); g > bestVal {
+			best, bestVal = i, g
+		}
+	}
+	if best != target {
+		t.Errorf("best beam %d, want %d", best, target)
+	}
+}

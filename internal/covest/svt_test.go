@@ -1,0 +1,175 @@
+package covest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mmwalign/internal/cmat"
+)
+
+// lowRankMatrix builds a random rank-r rows×cols matrix.
+func lowRankMatrix(r *rand.Rand, rows, cols, rank int) *cmat.Matrix {
+	m := cmat.New(rows, cols)
+	for k := 0; k < rank; k++ {
+		u := make(cmat.Vector, rows)
+		v := make(cmat.Vector, cols)
+		for i := range u {
+			u[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		for i := range v {
+			v[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		m.AddInPlace(1, u.Outer(v))
+	}
+	return m
+}
+
+// sampleEntries observes each entry independently with probability p.
+func sampleEntries(r *rand.Rand, m *cmat.Matrix, p float64) []Entry {
+	var out []Entry
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if r.Float64() < p {
+				out = append(out, Entry{Row: i, Col: j, Value: m.At(i, j)})
+			}
+		}
+	}
+	return out
+}
+
+func TestCompleteRecoversLowRank(t *testing.T) {
+	r := rand.New(rand.NewSource(60))
+	truth := lowRankMatrix(r, 20, 20, 2)
+	obs := sampleEntries(r, truth, 0.6)
+	got, stats, err := Complete(20, 20, obs, SVTOptions{MaxIters: 600, Tol: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Logf("warning: not converged, residual %g after %d iters", stats.Residual, stats.Iters)
+	}
+	rel := got.Sub(truth).FrobeniusNorm() / truth.FrobeniusNorm()
+	if rel > 0.05 {
+		t.Errorf("relative recovery error %g, want < 0.05", rel)
+	}
+}
+
+func TestCompleteMatchesObservedEntries(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	truth := lowRankMatrix(r, 12, 8, 1)
+	obs := sampleEntries(r, truth, 0.7)
+	got, _, err := Complete(12, 8, obs, SVTOptions{MaxIters: 500, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range obs {
+		d := got.At(e.Row, e.Col) - e.Value
+		if abs2(d) > 1e-2*(1+abs2(e.Value)) {
+			t.Fatalf("entry (%d,%d) off by %v", e.Row, e.Col, d)
+		}
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	if _, _, err := Complete(0, 4, []Entry{{}}, SVTOptions{}); err == nil {
+		t.Error("expected error for zero rows")
+	}
+	if _, _, err := Complete(4, 4, nil, SVTOptions{}); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("err = %v, want ErrNoObservations", err)
+	}
+	if _, _, err := Complete(4, 4, []Entry{{Row: 5, Col: 0}}, SVTOptions{}); err == nil {
+		t.Error("expected error for out-of-range observation")
+	}
+}
+
+func TestCompleteAllZeroObservations(t *testing.T) {
+	got, stats, err := Complete(5, 5, []Entry{{Row: 1, Col: 2, Value: 0}}, SVTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Error("zero completion should converge immediately")
+	}
+	if got.FrobeniusNorm() != 0 {
+		t.Error("completion of zero observations should be zero")
+	}
+}
+
+func TestCompleteHermitianPSD(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	// Build a rank-2 PSD truth.
+	n := 14
+	truth := cmat.New(n, n)
+	for k := 0; k < 2; k++ {
+		v := make(cmat.Vector, n)
+		for i := range v {
+			v[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		truth.AddInPlace(1, v.Outer(v))
+	}
+	truth = truth.Hermitianize()
+
+	// Observe only the upper triangle with moderate density.
+	var obs []Entry
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if r.Float64() < 0.55 {
+				obs = append(obs, Entry{Row: i, Col: j, Value: truth.At(i, j)})
+			}
+		}
+	}
+	got, _, err := CompleteHermitianPSD(n, obs, SVTOptions{MaxIters: 600, Tol: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsHermitian(1e-9) {
+		t.Error("completion is not Hermitian")
+	}
+	eig, err := cmat.EigHermitian(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v < -1e-8 {
+			t.Errorf("negative eigenvalue %g in PSD completion", v)
+		}
+	}
+	rel := got.Sub(truth).FrobeniusNorm() / truth.FrobeniusNorm()
+	if rel > 0.15 {
+		t.Errorf("relative recovery error %g, want < 0.15", rel)
+	}
+}
+
+func TestCompleteHermitianPSDDuplicateObservations(t *testing.T) {
+	// Supplying both (i,j) and (j,i) must not break the solver.
+	n := 6
+	truth := cmat.Identity(n)
+	var obs []Entry
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			obs = append(obs, Entry{Row: i, Col: j, Value: truth.At(i, j)})
+		}
+	}
+	got, _, err := CompleteHermitianPSD(n, obs, SVTOptions{MaxIters: 400, Tau: 1, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := got.Sub(truth).FrobeniusNorm() / truth.FrobeniusNorm()
+	if rel > 0.2 {
+		t.Errorf("identity completion error %g", rel)
+	}
+}
+
+func TestSVTOptionsDefaults(t *testing.T) {
+	o := SVTOptions{}.withDefaults(10, 10, 50)
+	if o.Tau != 50 {
+		t.Errorf("Tau = %g, want 50", o.Tau)
+	}
+	if o.Step != 1.2*100/50 {
+		t.Errorf("Step = %g", o.Step)
+	}
+	if o.MaxIters != 300 || o.Tol != 1e-4 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,61 @@
+package covest
+
+import (
+	"fmt"
+
+	"mmwalign/internal/cmat"
+)
+
+// ToeplitzAverage projects a Hermitian matrix onto the set of Hermitian
+// Toeplitz matrices by averaging along each diagonal — the least-squares
+// projection. The receive covariance of a uniform linear array is
+// Toeplitz by spatial stationarity, so imposing the structure denoises
+// an estimate without any extra measurements.
+func ToeplitzAverage(a *cmat.Matrix) (*cmat.Matrix, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("covest: toeplitz projection needs a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	h := a.Hermitianize()
+	out := cmat.New(n, n)
+	for off := 0; off < n; off++ {
+		var sum complex128
+		for i := 0; i+off < n; i++ {
+			sum += h.At(i, i+off)
+		}
+		avg := sum / complex(float64(n-off), 0)
+		for i := 0; i+off < n; i++ {
+			out.Set(i, i+off, avg)
+			if off > 0 {
+				out.Set(i+off, i, complex(real(avg), -imag(avg)))
+			}
+		}
+	}
+	return out, nil
+}
+
+// ProjectToeplitzPSD alternates projections onto the Hermitian Toeplitz
+// set and the PSD cone for the given number of rounds (Dykstra-free
+// alternating projections; both sets are convex and intersect, so the
+// iteration converges to a point near the closest structured PSD
+// matrix). The result is returned after a final PSD projection so it is
+// always PSD; it is Toeplitz up to the convergence tolerance of the
+// alternation.
+func ProjectToeplitzPSD(a *cmat.Matrix, rounds int) (*cmat.Matrix, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	cur := a
+	for r := 0; r < rounds; r++ {
+		t, err := ToeplitzAverage(cur)
+		if err != nil {
+			return nil, err
+		}
+		p, err := cmat.ProjectPSD(t)
+		if err != nil {
+			return nil, fmt.Errorf("covest: toeplitz-psd round %d: %w", r, err)
+		}
+		cur = p
+	}
+	return cur, nil
+}

@@ -1,0 +1,128 @@
+package covest
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// ulaCovariance builds the (Toeplitz) covariance of a ULA with planted
+// arrival angles.
+func ulaCovariance(n int, azs []float64, power float64) *cmat.Matrix {
+	ar := antenna.NewULA(n)
+	q := cmat.New(n, n)
+	for _, az := range azs {
+		a := ar.Steering(antenna.Direction{Az: az})
+		q.AddInPlace(complex(power, 0), a.Outer(a))
+	}
+	return q.Hermitianize()
+}
+
+func isToeplitz(m *cmat.Matrix, tol float64) bool {
+	n := m.Rows()
+	for off := 0; off < n; off++ {
+		ref := m.At(0, off)
+		for i := 1; i+off < n; i++ {
+			if cmplx.Abs(m.At(i, i+off)-ref) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestULACovarianceIsToeplitz(t *testing.T) {
+	// Sanity for the premise: ULA covariances are Toeplitz.
+	q := ulaCovariance(8, []float64{0.3, -0.7}, 1)
+	if !isToeplitz(q, 1e-10) {
+		t.Fatal("ULA covariance is not Toeplitz; premise broken")
+	}
+}
+
+func TestToeplitzAverageFixedPoint(t *testing.T) {
+	q := ulaCovariance(8, []float64{0.2}, 2)
+	got, err := ToeplitzAverage(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(q, 1e-10) {
+		t.Error("Toeplitz input was modified by the projection")
+	}
+}
+
+func TestToeplitzAverageProjects(t *testing.T) {
+	src := rng.New(500)
+	n := 6
+	noisy := cmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			noisy.Set(i, j, src.ComplexNormal(1))
+		}
+	}
+	got, err := ToeplitzAverage(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isToeplitz(got, 1e-12) {
+		t.Error("projection output is not Toeplitz")
+	}
+	if !got.IsHermitian(1e-12) {
+		t.Error("projection output is not Hermitian")
+	}
+	// Trace is preserved (main diagonal averaging keeps the mean).
+	if diff := real(got.Trace()) - real(noisy.Hermitianize().Trace()); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("trace changed by %g", diff)
+	}
+}
+
+func TestToeplitzAverageRejectsNonSquare(t *testing.T) {
+	if _, err := ToeplitzAverage(cmat.New(2, 3)); err == nil {
+		t.Error("non-square input accepted")
+	}
+}
+
+func TestProjectToeplitzPSDDenoises(t *testing.T) {
+	// Perturb a true Toeplitz PSD covariance with Hermitian noise; the
+	// structured projection must land closer to the truth than the raw
+	// perturbed matrix.
+	src := rng.New(501)
+	n := 12
+	truth := ulaCovariance(n, []float64{0.4, -0.3}, 3)
+	noisy := truth.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			noisy.AddAt(i, j, src.ComplexNormal(0.3))
+		}
+	}
+	noisy = noisy.Hermitianize()
+
+	proj, err := ProjectToeplitzPSD(noisy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := noisy.Sub(truth).FrobeniusNorm()
+	after := proj.Sub(truth).FrobeniusNorm()
+	if after >= before {
+		t.Errorf("projection did not denoise: %g -> %g", before, after)
+	}
+	// Result must be PSD.
+	eig, err := cmat.EigHermitian(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v < -1e-9 {
+			t.Fatalf("negative eigenvalue %g", v)
+		}
+	}
+}
+
+func TestProjectToeplitzPSDRoundsClamped(t *testing.T) {
+	q := ulaCovariance(6, []float64{0.1}, 1)
+	if _, err := ProjectToeplitzPSD(q, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package experiment is the benchmark harness that regenerates every
+// result figure of the paper:
+//
+//   - Fig. 5: SNR loss vs search rate, single-path channel.
+//   - Fig. 6: SNR loss vs search rate, NYC multipath channel.
+//   - Fig. 7: required search rate vs target loss, single-path channel.
+//   - Fig. 8: required search rate vs target loss, NYC multipath channel.
+//
+// Each generator sweeps simulation drops (independent channel
+// realizations), runs every configured scheme on identical channels with
+// identical measurement-noise streams, and aggregates the paper's
+// metrics: SNR loss of the selected pair (Eq. 31) and search rate L/T
+// (Eq. 32). Determinism: a Config fully determines the output.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mmwalign/internal/align"
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/channel"
+	"mmwalign/internal/covest"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/metrics"
+	"mmwalign/internal/rng"
+)
+
+// Config parameterizes a figure regeneration. Zero fields take the
+// paper-matched defaults (see WithDefaults).
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Drops is the number of independent channel realizations.
+	Drops int
+	// TXx, TXz are the TX UPA dimensions (paper: 4×4).
+	TXx, TXz int
+	// RXx, RXz are the RX UPA dimensions (paper: 8×8).
+	RXx, RXz int
+	// TXBookAz, TXBookEl shape the TX codebook grid (card(U) = product).
+	TXBookAz, TXBookEl int
+	// RXBookAz, RXBookEl shape the RX codebook grid (card(V) = product).
+	RXBookAz, RXBookEl int
+	// GammaDB is the pre-beamforming SNR E_s/N₀ in dB.
+	GammaDB float64
+	// Snapshots is the number of fading+noise snapshots per measurement.
+	Snapshots int
+	// J is the proposed scheme's measurements per TX slot.
+	J int
+	// Window bounds the estimation history of the proposed scheme.
+	Window int
+	// Mu is the nuclear-norm regularization weight.
+	Mu float64
+	// EstimatorIters bounds proximal iterations per estimation.
+	EstimatorIters int
+	// Multipath selects the NYC clustered channel instead of single-path.
+	Multipath bool
+	// SearchRates are the L/T points of the effectiveness sweep.
+	SearchRates []float64
+	// TargetsDB are the target losses of the cost-efficiency sweep.
+	TargetsDB []float64
+	// Schemes are the strategy names to compare. Known names:
+	// "random", "scan", "exhaustive", "proposed", "hierarchical".
+	Schemes []string
+	// EstimatorKind selects the likelihood (ablation); zero means
+	// covest.PerMeasurement.
+	EstimatorKind covest.ObjectiveKind
+	// Workers bounds the concurrent drops (0 = GOMAXPROCS). Results are
+	// independent of the worker count.
+	Workers int
+	// PhaseBits applies b-bit phase-shifter quantization to both
+	// codebooks (0 = ideal continuous phases).
+	PhaseBits int
+}
+
+// WithDefaults returns a copy with zero fields replaced by the defaults
+// used throughout the reproduction: 4×4/8×8 arrays, 16/64-beam books
+// (T = 1024 pairs), γ = 0 dB, 4 snapshots, J = 8, 100 drops, the paper's
+// three schemes, and sweeps matching the figures.
+func (c Config) WithDefaults() Config {
+	if c.Drops == 0 {
+		c.Drops = 100
+	}
+	if c.TXx == 0 {
+		c.TXx = 4
+	}
+	if c.TXz == 0 {
+		c.TXz = 4
+	}
+	if c.RXx == 0 {
+		c.RXx = 8
+	}
+	if c.RXz == 0 {
+		c.RXz = 8
+	}
+	if c.TXBookAz == 0 {
+		c.TXBookAz = 4
+	}
+	if c.TXBookEl == 0 {
+		c.TXBookEl = 4
+	}
+	if c.RXBookAz == 0 {
+		c.RXBookAz = 8
+	}
+	if c.RXBookEl == 0 {
+		c.RXBookEl = 8
+	}
+	if c.Snapshots == 0 {
+		c.Snapshots = 4
+	}
+	if c.J == 0 {
+		c.J = 8
+	}
+	if c.Window == 0 {
+		c.Window = 96
+	}
+	if c.Mu == 0 {
+		c.Mu = 1
+	}
+	if c.EstimatorIters == 0 {
+		c.EstimatorIters = 25
+	}
+	if c.SearchRates == nil {
+		c.SearchRates = []float64{0.03, 0.06, 0.10, 0.15, 0.20, 0.25, 0.30}
+	}
+	if c.TargetsDB == nil {
+		c.TargetsDB = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	}
+	if c.Schemes == nil {
+		c.Schemes = []string{"random", "scan", "proposed"}
+	}
+	return c
+}
+
+// Figure is one regenerated paper figure.
+type Figure struct {
+	// ID is the figure identifier, e.g. "fig5".
+	ID string
+	// Title restates what the paper plots.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds one curve per scheme.
+	Series []metrics.Series
+}
+
+// buildEnv creates the per-drop, per-scheme environment. All schemes of
+// a drop share the channel realization and the measurement-noise seed so
+// differences come only from their pair-selection policies.
+func buildEnv(cfg Config, root *rng.Source, drop int, scheme string) (*align.Env, error) {
+	tx := antenna.NewUPA(cfg.TXx, cfg.TXz)
+	rx := antenna.NewUPA(cfg.RXx, cfg.RXz)
+
+	chSrc := root.SplitIndexed("channel", drop)
+	var (
+		ch  *channel.Channel
+		err error
+	)
+	if cfg.Multipath {
+		ch, err = channel.NewNYCMultipath(chSrc, tx, rx, channel.DefaultNYC28())
+	} else {
+		ch, err = channel.NewSinglePath(chSrc, tx, rx, channel.SinglePathSpec{})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: drop %d channel: %w", drop, err)
+	}
+
+	sounder, err := meas.NewSounder(ch, channel.DBToLinear(cfg.GammaDB), root.SplitIndexed("noise", drop))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: drop %d sounder: %w", drop, err)
+	}
+	sounder.SetSnapshots(cfg.Snapshots)
+
+	txBook := antenna.NewGridCodebook(tx, cfg.TXBookAz, cfg.TXBookEl, math.Pi, math.Pi/2)
+	rxBook := antenna.NewGridCodebook(rx, cfg.RXBookAz, cfg.RXBookEl, math.Pi, math.Pi/2)
+	if cfg.PhaseBits > 0 {
+		txBook = antenna.QuantizedCodebook(txBook, cfg.PhaseBits)
+		rxBook = antenna.QuantizedCodebook(rxBook, cfg.PhaseBits)
+	}
+	return &align.Env{
+		TXBook:  txBook,
+		RXBook:  rxBook,
+		Sounder: sounder,
+		Src:     root.SplitIndexed("strategy-"+scheme, drop),
+	}, nil
+}
+
+// makeStrategy instantiates a scheme by name for the given environment.
+func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, error) {
+	switch name {
+	case "random":
+		return align.RandomStrategy{}, nil
+	case "scan":
+		return align.ScanStrategy{}, nil
+	case "exhaustive":
+		return align.ExhaustiveStrategy{}, nil
+	case "proposed":
+		return align.NewProposed(align.ProposedConfig{
+			J:      cfg.J,
+			Window: cfg.Window,
+			Estimator: covest.Options{
+				Gamma:    channel.DBToLinear(cfg.GammaDB),
+				Mu:       cfg.Mu,
+				MaxIters: cfg.EstimatorIters,
+				Kind:     cfg.EstimatorKind,
+			},
+		}), nil
+	case "two-sided":
+		return align.NewTwoSided(align.ProposedConfig{
+			J:      cfg.J,
+			Window: cfg.Window,
+			Estimator: covest.Options{
+				Gamma:    channel.DBToLinear(cfg.GammaDB),
+				Mu:       cfg.Mu,
+				MaxIters: cfg.EstimatorIters,
+				Kind:     cfg.EstimatorKind,
+			},
+		}), nil
+	case "hierarchical":
+		return align.NewHierarchical(antenna.NewHierCodebook(env.RXBook, 2, 2)), nil
+	case "local-refine":
+		return align.NewLocalRefine(), nil
+	case "digital":
+		return align.NewDigital(), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme %q", name)
+	}
+}
+
+// trajectories runs every configured scheme on every drop with the given
+// measurement budget and feeds each per-drop trajectory to visit, in
+// deterministic (drop-major, scheme order) sequence.
+//
+// Drops execute concurrently on a bounded worker pool: rng splits are
+// pure functions of (seed, name), so each (drop, scheme) cell is an
+// isolated computation and the parallel schedule cannot change any
+// result. Results are buffered and visited in order, making the output
+// bit-identical to a sequential run.
+func trajectories(cfg Config, budget int, visit func(scheme string, drop int, tr align.Trajectory)) error {
+	root := rng.New(cfg.Seed)
+
+	type cell struct {
+		tr  align.Trajectory
+		err error
+	}
+	results := make([][]cell, cfg.Drops)
+	for d := range results {
+		results[d] = make([]cell, len(cfg.Schemes))
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for drop := 0; drop < cfg.Drops; drop++ {
+		for si, scheme := range cfg.Schemes {
+			drop, si, scheme := drop, si, scheme
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				env, err := buildEnv(cfg, root, drop, scheme)
+				if err != nil {
+					results[drop][si] = cell{err: err}
+					return
+				}
+				strat, err := makeStrategy(cfg, scheme, env)
+				if err != nil {
+					results[drop][si] = cell{err: err}
+					return
+				}
+				tr, err := align.Evaluate(env, strat, budget)
+				if err != nil {
+					results[drop][si] = cell{err: fmt.Errorf("experiment: drop %d scheme %s: %w", drop, scheme, err)}
+					return
+				}
+				results[drop][si] = cell{tr: tr}
+			}()
+		}
+	}
+	wg.Wait()
+
+	for drop := 0; drop < cfg.Drops; drop++ {
+		for si, scheme := range cfg.Schemes {
+			c := results[drop][si]
+			if c.err != nil {
+				return c.err
+			}
+			visit(scheme, drop, c.tr)
+		}
+	}
+	return nil
+}
+
+// totalPairs returns T for the configured codebooks.
+func (c Config) totalPairs() int {
+	return c.TXBookAz * c.TXBookEl * c.RXBookAz * c.RXBookEl
+}
+
+// SearchEffectiveness regenerates Fig. 5 (single-path) or Fig. 6
+// (multipath): mean SNR loss of the selected pair at each search rate.
+func SearchEffectiveness(cfg Config) (Figure, error) {
+	cfg = cfg.WithDefaults()
+	t := cfg.totalPairs()
+	maxRate := cfg.SearchRates[len(cfg.SearchRates)-1]
+	budget := int(math.Ceil(maxRate * float64(t)))
+
+	accs := make(map[string][]metrics.Accumulator, len(cfg.Schemes))
+	for _, s := range cfg.Schemes {
+		accs[s] = make([]metrics.Accumulator, len(cfg.SearchRates))
+	}
+	err := trajectories(cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
+		for i, rate := range cfg.SearchRates {
+			l := int(math.Ceil(rate * float64(t)))
+			if l < 1 {
+				l = 1
+			}
+			if l > len(tr.LossDB) {
+				l = len(tr.LossDB)
+			}
+			accs[scheme][i].AddFinite(tr.LossDB[l-1])
+		}
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	fig := Figure{
+		Title:  "Search effectiveness: SNR loss vs search rate",
+		XLabel: "search rate (L/T)",
+		YLabel: "SNR loss (dB)",
+	}
+	if cfg.Multipath {
+		fig.ID, fig.Title = "fig6", fig.Title+" — NYC multipath channel"
+	} else {
+		fig.ID, fig.Title = "fig5", fig.Title+" — single-path channel"
+	}
+	for _, scheme := range cfg.Schemes {
+		s := metrics.Series{Name: scheme}
+		for i, rate := range cfg.SearchRates {
+			s.X = append(s.X, rate)
+			s.Y = append(s.Y, accs[scheme][i].Mean())
+			s.YErr = append(s.YErr, accs[scheme][i].CI95())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// CostEfficiency regenerates Fig. 7 (single-path) or Fig. 8 (multipath):
+// the mean search rate each scheme needs before the loss of its current
+// best pair first drops to the target. Runs that never reach a target
+// within the sweep budget are counted at the full budget (a conservative
+// lower bound, noted in EXPERIMENTS.md).
+func CostEfficiency(cfg Config) (Figure, error) {
+	cfg = cfg.WithDefaults()
+	t := cfg.totalPairs()
+	maxRate := cfg.SearchRates[len(cfg.SearchRates)-1]
+	budget := int(math.Ceil(maxRate * float64(t)))
+
+	accs := make(map[string][]metrics.Accumulator, len(cfg.Schemes))
+	for _, s := range cfg.Schemes {
+		accs[s] = make([]metrics.Accumulator, len(cfg.TargetsDB))
+	}
+	err := trajectories(cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
+		for i, target := range cfg.TargetsDB {
+			l := tr.FirstWithin(target)
+			if l < 0 {
+				l = len(tr.LossDB) // censored at the sweep budget
+			}
+			accs[scheme][i].Add(float64(l) / float64(t))
+		}
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	fig := Figure{
+		Title:  "Cost efficiency: required search rate vs target loss",
+		XLabel: "target loss (dB)",
+		YLabel: "required search rate (L/T)",
+	}
+	if cfg.Multipath {
+		fig.ID, fig.Title = "fig8", fig.Title+" — NYC multipath channel"
+	} else {
+		fig.ID, fig.Title = "fig7", fig.Title+" — single-path channel"
+	}
+	for _, scheme := range cfg.Schemes {
+		s := metrics.Series{Name: scheme}
+		for i, target := range cfg.TargetsDB {
+			s.X = append(s.X, target)
+			s.Y = append(s.Y, accs[scheme][i].Mean())
+			s.YErr = append(s.YErr, accs[scheme][i].CI95())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Generate regenerates a figure by paper number (5–8).
+func Generate(figure int, cfg Config) (Figure, error) {
+	switch figure {
+	case 5:
+		cfg.Multipath = false
+		return SearchEffectiveness(cfg)
+	case 6:
+		cfg.Multipath = true
+		return SearchEffectiveness(cfg)
+	case 7:
+		cfg.Multipath = false
+		return CostEfficiency(cfg)
+	case 8:
+		cfg.Multipath = true
+		return CostEfficiency(cfg)
+	default:
+		return Figure{}, fmt.Errorf("experiment: the paper has figures 5-8, not %d", figure)
+	}
+}

@@ -1,0 +1,162 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/channel"
+	"mmwalign/internal/rng"
+)
+
+// CellSearchConfig parameterizes the directional initial-access
+// simulation: a mobile at the origin scans NumBS candidate base
+// stations placed uniformly at random within Radius meters, spending
+// BudgetPerBS measurement slots of beam alignment on each reachable one,
+// then associates with the base station offering the strongest measured
+// beam pair.
+type CellSearchConfig struct {
+	// Link is the radio configuration shared by all BS links.
+	Link LinkConfig
+	// NumBS is the number of candidate base stations (default 3).
+	NumBS int
+	// Radius bounds BS placement distance in meters (default 200).
+	Radius float64
+	// MinDistance keeps base stations out of the near field (default 10).
+	MinDistance float64
+	// BudgetPerBS is the alignment budget spent per reachable BS
+	// (default 64).
+	BudgetPerBS int
+	// Budget is the link budget converting path loss into γ.
+	Budget channel.LinkBudget
+	// PathLoss holds the LOS/NLOS/outage model (defaults to 28 GHz NYC).
+	PathLoss channel.PathLossParams
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c CellSearchConfig) withDefaults() CellSearchConfig {
+	c.Link = c.Link.withDefaults()
+	if c.NumBS == 0 {
+		c.NumBS = 3
+	}
+	if c.Radius == 0 {
+		c.Radius = 200
+	}
+	if c.MinDistance == 0 {
+		c.MinDistance = 10
+	}
+	if c.BudgetPerBS == 0 {
+		c.BudgetPerBS = 64
+	}
+	if c.Budget == (channel.LinkBudget{}) {
+		c.Budget = channel.LinkBudget{TXPowerDBm: 30, BandwidthHz: 1e9, NoiseFigureDB: 7}
+	}
+	if c.PathLoss == (channel.PathLossParams{}) {
+		c.PathLoss = channel.DefaultPathLoss28()
+	}
+	return c
+}
+
+// BSOutcome records the mobile's view of one candidate base station.
+type BSOutcome struct {
+	// Index identifies the BS.
+	Index int
+	// DistanceM is the BS distance in meters.
+	DistanceM float64
+	// State is the macroscopic link state drawn from the path loss model.
+	State channel.LinkState
+	// GammaDB is the pre-beamforming SNR after path loss (−Inf in
+	// outage).
+	GammaDB float64
+	// MeasuredSNRDB is the measured SNR (dB) of the best pair found
+	// during alignment (−Inf if unreachable).
+	MeasuredSNRDB float64
+	// TrueSNRDB is the ground-truth SNR (dB) of that pair.
+	TrueSNRDB float64
+	// SlotsSpent counts the measurement slots spent on this BS.
+	SlotsSpent int
+}
+
+// CellSearchResult is the outcome of one directional cell search.
+type CellSearchResult struct {
+	// PerBS holds each candidate's outcome.
+	PerBS []BSOutcome
+	// Associated is the index of the chosen BS, or -1 if every candidate
+	// was in outage (initial access failed).
+	Associated int
+	// AssociatedSNRDB is the true post-beamforming SNR at the chosen BS.
+	AssociatedSNRDB float64
+	// TotalSlots is the total search duration in measurement slots.
+	TotalSlots int
+	// FoundBestBS reports whether the mobile associated with the BS
+	// offering the genuinely highest optimal SNR among reachable ones.
+	FoundBestBS bool
+}
+
+// RunCellSearch executes one directional cell search.
+func RunCellSearch(cfg CellSearchConfig) (CellSearchResult, error) {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+	placeSrc := root.Split("placement")
+	tx, rx, _, _ := cfg.Link.books()
+
+	result := CellSearchResult{Associated: -1}
+	bestMeasured := math.Inf(-1)
+	bestOptimal := math.Inf(-1)
+	bestOptimalIdx := -1
+
+	for b := 0; b < cfg.NumBS; b++ {
+		// Uniform placement over the disc between MinDistance and Radius.
+		d := math.Sqrt(placeSrc.Uniform(cfg.MinDistance*cfg.MinDistance/(cfg.Radius*cfg.Radius), 1)) * cfg.Radius
+		state := cfg.PathLoss.DrawState(placeSrc, d)
+		out := BSOutcome{
+			Index:         b,
+			DistanceM:     d,
+			State:         state,
+			GammaDB:       math.Inf(-1),
+			MeasuredSNRDB: math.Inf(-1),
+			TrueSNRDB:     math.Inf(-1),
+		}
+		if state == channel.StateOutage {
+			result.PerBS = append(result.PerBS, out)
+			continue
+		}
+		pl := cfg.PathLoss.PathLossDB(placeSrc, d, state)
+		gamma := cfg.Budget.SNRLinear(pl)
+		if gamma <= 0 {
+			out.State = channel.StateOutage
+			result.PerBS = append(result.PerBS, out)
+			continue
+		}
+		out.GammaDB = channel.LinearToDB(gamma)
+
+		ch, err := cfg.Link.newChannel(root.SplitIndexed("channel", b), tx, rx)
+		if err != nil {
+			return CellSearchResult{}, fmt.Errorf("mac: cell search BS %d: %w", b, err)
+		}
+		tr, _, err := alignOnce(cfg.Link, ch, gamma,
+			root.SplitIndexed("noise", b), root.SplitIndexed("strategy", b), cfg.BudgetPerBS)
+		if err != nil {
+			return CellSearchResult{}, fmt.Errorf("mac: cell search BS %d: %w", b, err)
+		}
+		out.SlotsSpent = len(tr.LossDB)
+		out.TrueSNRDB = channel.LinearToDB(tr.BestTrueSNR)
+		// The mobile ranks base stations by what it measured, not by the
+		// ground truth it cannot see.
+		out.MeasuredSNRDB = channel.LinearToDB(tr.BestMeasuredSNR)
+		result.PerBS = append(result.PerBS, out)
+		result.TotalSlots += out.SlotsSpent
+
+		if tr.BestMeasuredSNR > bestMeasured {
+			bestMeasured = tr.BestMeasuredSNR
+			result.Associated = b
+			result.AssociatedSNRDB = out.TrueSNRDB
+		}
+		if tr.OptSNR > bestOptimal {
+			bestOptimal = tr.OptSNR
+			bestOptimalIdx = b
+		}
+	}
+	result.FoundBestBS = result.Associated >= 0 && result.Associated == bestOptimalIdx
+	return result, nil
+}

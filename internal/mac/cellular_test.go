@@ -1,0 +1,122 @@
+package mac
+
+import (
+	"testing"
+)
+
+func tinyCellular() CellularConfig {
+	return CellularConfig{
+		Link:            smallLink(),
+		NumBS:           2,
+		AreaM:           150,
+		ArrivalRate:     0.5,
+		MeanHoldS:       10,
+		SuperframeS:     1,
+		AlignBudget:     24,
+		TrackBudget:     4,
+		ScanPeriodTicks: 3,
+		ScanBudget:      8,
+		HorizonS:        20,
+		Seed:            3,
+	}
+}
+
+func TestRunCellularBasics(t *testing.T) {
+	stats, err := RunCellular(tinyCellular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Arrivals == 0 {
+		t.Fatal("no arrivals in 20 simulated seconds at rate 0.5/s")
+	}
+	if stats.EventsProcessed == 0 {
+		t.Error("no events processed")
+	}
+	if stats.Blocked > stats.Arrivals {
+		t.Errorf("blocked %d > arrivals %d", stats.Blocked, stats.Arrivals)
+	}
+	if stats.Ticks > 0 {
+		if stats.MeanSpectralEff < 0 {
+			t.Errorf("negative spectral efficiency %g", stats.MeanSpectralEff)
+		}
+		if stats.MeanTrainFrac < 0 || stats.MeanTrainFrac > 1 {
+			t.Errorf("train fraction %g outside [0,1]", stats.MeanTrainFrac)
+		}
+		if stats.OutageTicks > stats.Ticks {
+			t.Errorf("outage ticks %d > ticks %d", stats.OutageTicks, stats.Ticks)
+		}
+	}
+	if stats.FullAlignments < stats.Arrivals-stats.Blocked {
+		t.Errorf("full alignments %d below admitted sessions %d",
+			stats.FullAlignments, stats.Arrivals-stats.Blocked)
+	}
+}
+
+func TestRunCellularDeterministic(t *testing.T) {
+	a, err := RunCellular(tinyCellular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCellular(tinyCellular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrivals != b.Arrivals || a.Ticks != b.Ticks ||
+		a.Handovers != b.Handovers || a.MeanSpectralEff != b.MeanSpectralEff {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunCellularHorizonScalesArrivals(t *testing.T) {
+	short := tinyCellular()
+	short.HorizonS = 10
+	long := tinyCellular()
+	long.HorizonS = 40
+	a, err := RunCellular(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCellular(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Arrivals <= a.Arrivals {
+		t.Errorf("4x horizon produced %d arrivals vs %d", b.Arrivals, a.Arrivals)
+	}
+}
+
+func TestRunCellularSessionsComplete(t *testing.T) {
+	cfg := tinyCellular()
+	cfg.MeanHoldS = 3 // short sessions: most complete inside the horizon
+	cfg.HorizonS = 30
+	stats, err := RunCellular(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := stats.Arrivals - stats.Blocked
+	if admitted > 2 && stats.Completed == 0 {
+		t.Errorf("no session completed out of %d admitted", admitted)
+	}
+}
+
+func TestRunCellularFastUsersHandOver(t *testing.T) {
+	// Fast users crossing a small area with two cells should trigger at
+	// least one handover across a long horizon. Statistical but
+	// deterministic for this seed.
+	cfg := tinyCellular()
+	cfg.SpeedMS = 20
+	cfg.HorizonS = 40
+	cfg.ArrivalRate = 0.4
+	cfg.MeanHoldS = 30
+	stats, err := RunCellular(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Handovers == 0 {
+		t.Log("warning: no handovers at 20 m/s; check hysteresis/scan settings")
+	}
+	if stats.Handovers > 0 && stats.FullAlignments < stats.Handovers {
+		t.Errorf("handovers %d without matching realignments %d",
+			stats.Handovers, stats.FullAlignments)
+	}
+}

@@ -1,0 +1,155 @@
+// Package mac embeds the beam-alignment schemes into the slotted MAC
+// protocol context the paper targets: superframes that split airtime
+// between a directional training phase (TX slots × RX measurement slots,
+// exactly the paper's sounding structure) and a data phase whose rate
+// depends on the beam pair the training selected. It also implements the
+// directional cell-search procedure of the paper's introduction: a
+// mobile sweeping multiple candidate base stations, each behind its own
+// LOS/NLOS/outage path-loss draw, and associating with the best
+// discovered beam.
+//
+// The simulations quantify the protocol-level consequence of alignment
+// quality that motivates the paper: every slot spent training is a slot
+// not spent on data, so a scheme that reaches a low SNR loss with fewer
+// measurements buys net throughput.
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/align"
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/channel"
+	"mmwalign/internal/covest"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/rng"
+)
+
+// LinkConfig describes the radio configuration shared by the MAC
+// simulations. Zero fields take paper defaults.
+type LinkConfig struct {
+	// TXx, TXz, RXx, RXz are the UPA dimensions (defaults 4×4 and 8×8).
+	TXx, TXz, RXx, RXz int
+	// TXBookAz, TXBookEl, RXBookAz, RXBookEl shape the codebook grids
+	// (defaults 4×4 and 8×8).
+	TXBookAz, TXBookEl, RXBookAz, RXBookEl int
+	// GammaDB is the pre-beamforming SNR in dB (ignored by the cell
+	// search, which derives per-BS SNR from the link budget).
+	GammaDB float64
+	// Snapshots per measurement (default 4).
+	Snapshots int
+	// Scheme names the alignment strategy (default "proposed").
+	Scheme string
+	// J is the proposed scheme's per-slot measurement count (default 8).
+	J int
+	// Multipath selects the NYC channel (default single-path).
+	Multipath bool
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.TXx == 0 {
+		c.TXx = 4
+	}
+	if c.TXz == 0 {
+		c.TXz = 4
+	}
+	if c.RXx == 0 {
+		c.RXx = 8
+	}
+	if c.RXz == 0 {
+		c.RXz = 8
+	}
+	if c.TXBookAz == 0 {
+		c.TXBookAz = 4
+	}
+	if c.TXBookEl == 0 {
+		c.TXBookEl = 4
+	}
+	if c.RXBookAz == 0 {
+		c.RXBookAz = 8
+	}
+	if c.RXBookEl == 0 {
+		c.RXBookEl = 8
+	}
+	if c.Snapshots == 0 {
+		c.Snapshots = 4
+	}
+	if c.Scheme == "" {
+		c.Scheme = "proposed"
+	}
+	if c.J == 0 {
+		c.J = 8
+	}
+	return c
+}
+
+// books builds the TX and RX codebooks.
+func (c LinkConfig) books() (tx, rx antenna.UPA, txBook, rxBook *antenna.Codebook) {
+	tx = antenna.NewUPA(c.TXx, c.TXz)
+	rx = antenna.NewUPA(c.RXx, c.RXz)
+	txBook = antenna.NewGridCodebook(tx, c.TXBookAz, c.TXBookEl, math.Pi, math.Pi/2)
+	rxBook = antenna.NewGridCodebook(rx, c.RXBookAz, c.RXBookEl, math.Pi, math.Pi/2)
+	return tx, rx, txBook, rxBook
+}
+
+// strategy instantiates the configured alignment scheme.
+func (c LinkConfig) strategy(gamma float64, rxBook *antenna.Codebook) (align.Strategy, error) {
+	switch c.Scheme {
+	case "random":
+		return align.RandomStrategy{}, nil
+	case "scan":
+		return align.ScanStrategy{}, nil
+	case "exhaustive":
+		return align.ExhaustiveStrategy{}, nil
+	case "proposed":
+		return align.NewProposed(align.ProposedConfig{
+			J:         c.J,
+			Window:    96,
+			Estimator: covest.Options{Gamma: gamma, MaxIters: 25},
+		}), nil
+	case "two-sided":
+		return align.NewTwoSided(align.ProposedConfig{
+			J:         c.J,
+			Window:    96,
+			Estimator: covest.Options{Gamma: gamma, MaxIters: 25},
+		}), nil
+	case "hierarchical":
+		return align.NewHierarchical(antenna.NewHierCodebook(rxBook, 2, 2)), nil
+	case "local-refine":
+		return align.NewLocalRefine(), nil
+	case "digital":
+		return align.NewDigital(), nil
+	default:
+		return nil, fmt.Errorf("mac: unknown scheme %q", c.Scheme)
+	}
+}
+
+// newChannel draws a channel realization for the link.
+func (c LinkConfig) newChannel(src *rng.Source, tx, rx antenna.Array) (*channel.Channel, error) {
+	if c.Multipath {
+		return channel.NewNYCMultipath(src, tx, rx, channel.DefaultNYC28())
+	}
+	return channel.NewSinglePath(src, tx, rx, channel.SinglePathSpec{})
+}
+
+// alignOnce runs one training phase on the given channel and returns the
+// selected pair with its true SNR, plus the oracle SNR for reference.
+func alignOnce(cfg LinkConfig, ch *channel.Channel, gamma float64, noise, strat *rng.Source, budget int) (align.Trajectory, *align.Env, error) {
+	_, _, txBook, rxBook := cfg.books()
+	sounder, err := meas.NewSounder(ch, gamma, noise)
+	if err != nil {
+		return align.Trajectory{}, nil, fmt.Errorf("mac: sounder: %w", err)
+	}
+	sounder.SetSnapshots(cfg.Snapshots)
+	env := &align.Env{TXBook: txBook, RXBook: rxBook, Sounder: sounder, Src: strat}
+	s, err := cfg.strategy(gamma, rxBook)
+	if err != nil {
+		return align.Trajectory{}, nil, err
+	}
+	tr, err := align.Evaluate(env, s, budget)
+	if err != nil {
+		return align.Trajectory{}, nil, err
+	}
+	return tr, env, nil
+}

@@ -1,0 +1,283 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/channel"
+)
+
+// smallLink keeps MAC tests fast: 2x2 / 4x4 arrays, 8x16 books.
+func smallLink() LinkConfig {
+	return LinkConfig{
+		TXx: 2, TXz: 2, RXx: 4, RXz: 4,
+		TXBookAz: 4, TXBookEl: 2, RXBookAz: 4, RXBookEl: 4,
+		GammaDB: 0, Snapshots: 4, Scheme: "proposed", J: 4,
+	}
+}
+
+func TestLinkConfigDefaults(t *testing.T) {
+	c := LinkConfig{}.withDefaults()
+	if c.TXx != 4 || c.RXx != 8 || c.Scheme != "proposed" || c.J != 8 || c.Snapshots != 4 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestLinkConfigUnknownScheme(t *testing.T) {
+	c := smallLink()
+	c.Scheme = "psychic"
+	_, _, _, rxBook := c.books()
+	if _, err := c.strategy(1, rxBook); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestLinkConfigAllSchemesConstruct(t *testing.T) {
+	c := smallLink()
+	_, _, _, rxBook := c.books()
+	for _, s := range []string{"random", "scan", "exhaustive", "proposed", "hierarchical"} {
+		c.Scheme = s
+		if _, err := c.strategy(1, rxBook); err != nil {
+			t.Errorf("scheme %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunSuperframesBasics(t *testing.T) {
+	cfg := SuperframeConfig{
+		Link:        smallLink(),
+		Superframes: 5,
+		TrainSlots:  24,
+		DataSlots:   100,
+		Seed:        1,
+	}
+	stats, err := RunSuperframes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Frames) != 5 {
+		t.Fatalf("frames = %d, want 5", len(stats.Frames))
+	}
+	if stats.Efficiency <= 0 || stats.Efficiency > 1 {
+		t.Errorf("efficiency = %g, want (0, 1]", stats.Efficiency)
+	}
+	for _, f := range stats.Frames {
+		if f.LossDB < 0 {
+			t.Errorf("frame %d negative loss %g", f.Frame, f.LossDB)
+		}
+		if f.SelectedSNRDB > f.OptimalSNRDB+1e-9 {
+			t.Errorf("frame %d selected SNR beats optimal", f.Frame)
+		}
+		if f.DataBits < 0 || f.GenieBits <= 0 {
+			t.Errorf("frame %d throughput records invalid: %+v", f.Frame, f)
+		}
+		if f.DataBits > f.GenieBits {
+			t.Errorf("frame %d beat the genie", f.Frame)
+		}
+	}
+}
+
+func TestRunSuperframesDeterministic(t *testing.T) {
+	cfg := SuperframeConfig{Link: smallLink(), Superframes: 3, TrainSlots: 16, DataSlots: 50, Seed: 7}
+	a, err := RunSuperframes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuperframes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Efficiency != b.Efficiency || a.MeanLossDB != b.MeanLossDB {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestRunSuperframesRejectsBadBudget(t *testing.T) {
+	cfg := SuperframeConfig{Link: smallLink(), TrainSlots: -1, Seed: 1}
+	if _, err := RunSuperframes(cfg); err == nil {
+		t.Error("negative TrainSlots accepted")
+	}
+}
+
+func TestRunSuperframesMoreTrainingLowersLoss(t *testing.T) {
+	// With drift, a larger per-frame training budget must not hurt mean
+	// alignment loss (statistical, so compare generously).
+	base := SuperframeConfig{Link: smallLink(), Superframes: 8, DataSlots: 100, Seed: 3}
+	small := base
+	small.TrainSlots = 8
+	big := base
+	big.TrainSlots = 96
+	s1, err := RunSuperframes(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunSuperframes(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.MeanLossDB > s1.MeanLossDB+1 {
+		t.Errorf("96-slot training loss %g worse than 8-slot %g", s2.MeanLossDB, s1.MeanLossDB)
+	}
+}
+
+func TestRunSuperframesWithBlockage(t *testing.T) {
+	link := smallLink()
+	link.Multipath = true
+	cfg := SuperframeConfig{
+		Link:        link,
+		Superframes: 10,
+		TrainSlots:  24,
+		DataSlots:   100,
+		Blockage:    &BlockageConfig{PBlock: 0.5, PUnblock: 0.3, AttenuationDB: 25},
+		Seed:        21,
+	}
+	stats, err := RunSuperframes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBlockage := false
+	for _, f := range stats.Frames {
+		if f.BlockedClusters > 0 {
+			sawBlockage = true
+		}
+	}
+	if !sawBlockage {
+		t.Error("blockage process never blocked a cluster in 10 frames at pBlock=0.5")
+	}
+	if stats.Efficiency <= 0 || stats.Efficiency > 1 {
+		t.Errorf("efficiency = %g", stats.Efficiency)
+	}
+}
+
+func TestRunSuperframesBlockageValidation(t *testing.T) {
+	cfg := SuperframeConfig{
+		Link:        smallLink(),
+		Superframes: 2,
+		TrainSlots:  8,
+		DataSlots:   10,
+		Blockage:    &BlockageConfig{PBlock: 2, PUnblock: 0.3},
+		Seed:        22,
+	}
+	if _, err := RunSuperframes(cfg); err == nil {
+		t.Error("invalid blockage probability accepted")
+	}
+}
+
+func TestRunCellSearchBasics(t *testing.T) {
+	cfg := CellSearchConfig{
+		Link:        smallLink(),
+		NumBS:       4,
+		BudgetPerBS: 24,
+		Seed:        11,
+	}
+	res, err := RunCellSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerBS) != 4 {
+		t.Fatalf("PerBS = %d, want 4", len(res.PerBS))
+	}
+	reachable := 0
+	for _, bs := range res.PerBS {
+		if bs.DistanceM < cfg.MinDistance-1e-9 || bs.DistanceM > 200+1e-9 {
+			t.Errorf("BS %d at distance %g outside placement", bs.Index, bs.DistanceM)
+		}
+		if bs.State != channel.StateOutage {
+			reachable++
+			if math.IsInf(bs.GammaDB, -1) {
+				t.Errorf("reachable BS %d has no gamma", bs.Index)
+			}
+			if bs.SlotsSpent != 24 {
+				t.Errorf("BS %d spent %d slots, want 24", bs.Index, bs.SlotsSpent)
+			}
+		}
+	}
+	if reachable > 0 {
+		if res.Associated < 0 {
+			t.Error("reachable BS exists but no association")
+		}
+		if res.TotalSlots != reachable*24 {
+			t.Errorf("TotalSlots = %d, want %d", res.TotalSlots, reachable*24)
+		}
+	}
+}
+
+func TestRunCellSearchDeterministic(t *testing.T) {
+	cfg := CellSearchConfig{Link: smallLink(), NumBS: 3, BudgetPerBS: 16, Seed: 5}
+	a, err := RunCellSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCellSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Associated != b.Associated || a.AssociatedSNRDB != b.AssociatedSNRDB {
+		t.Error("same seed produced different cell search outcomes")
+	}
+}
+
+func TestRunCellSearchAllOutage(t *testing.T) {
+	cfg := CellSearchConfig{
+		Link:        smallLink(),
+		NumBS:       3,
+		BudgetPerBS: 8,
+		// Force outage by placing everything far out with a model that
+		// declares outage almost surely at 10km.
+		Radius:      1e4,
+		MinDistance: 9.9e3,
+		Seed:        13,
+	}
+	res, err := RunCellSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range res.PerBS {
+		if bs.State != channel.StateOutage {
+			t.Skip("rare non-outage draw at 10km; skipping")
+		}
+	}
+	if res.Associated != -1 {
+		t.Error("association succeeded with every BS in outage")
+	}
+	if res.FoundBestBS {
+		t.Error("FoundBestBS true with no association")
+	}
+}
+
+func TestCellSearchConfigDefaults(t *testing.T) {
+	c := CellSearchConfig{}.withDefaults()
+	if c.NumBS != 3 || c.Radius != 200 || c.BudgetPerBS != 64 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.Budget.BandwidthHz != 1e9 {
+		t.Errorf("link budget default: %+v", c.Budget)
+	}
+	if c.PathLoss.AlphaLOS != 61.4 {
+		t.Errorf("path loss default: %+v", c.PathLoss)
+	}
+}
+
+func TestCellSearchUsesMeasuredRanking(t *testing.T) {
+	// The association decision must come from measured SNR; with a
+	// decent budget it should usually also be the truly best BS. Run a
+	// handful of seeds and require a majority match.
+	match := 0
+	const runs = 6
+	for seed := int64(0); seed < runs; seed++ {
+		cfg := CellSearchConfig{Link: smallLink(), NumBS: 3, BudgetPerBS: 48, Radius: 120, Seed: 100 + seed}
+		res, err := RunCellSearch(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Associated < 0 {
+			continue
+		}
+		if res.FoundBestBS {
+			match++
+		}
+	}
+	if match < runs/2 {
+		t.Errorf("associated with the best BS in only %d/%d runs", match, runs)
+	}
+}

@@ -1,0 +1,198 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/channel"
+	"mmwalign/internal/rng"
+)
+
+// NetworkConfig parameterizes the multi-user cell simulation: one base
+// station serving NumUEs mobiles, each behind an independent channel.
+// Every superframe begins with per-UE beam training (TrainSlotsPerUE
+// measurement slots each) and ends with a shared data phase whose slots
+// a scheduler divides among the users. The simulation quantifies the
+// cell-level consequence of alignment quality: training overhead scales
+// with the user count, so efficient alignment directly buys cell
+// capacity — the argument of the paper's introduction.
+type NetworkConfig struct {
+	// Link is the per-user radio configuration.
+	Link LinkConfig
+	// NumUEs is the number of mobiles (default 4).
+	NumUEs int
+	// Superframes is the simulated horizon (default 10).
+	Superframes int
+	// TrainSlotsPerUE is the alignment budget per user per superframe
+	// (default 32).
+	TrainSlotsPerUE int
+	// DataSlots is the shared data-phase length per superframe
+	// (default 512).
+	DataSlots int
+	// Scheduler picks the data-phase discipline: "round-robin" (equal
+	// share, default) or "max-rate" (all slots to the best user).
+	Scheduler string
+	// DriftSigmaDeg is per-superframe angular drift (default 1).
+	DriftSigmaDeg float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	c.Link = c.Link.withDefaults()
+	if c.NumUEs == 0 {
+		c.NumUEs = 4
+	}
+	if c.Superframes == 0 {
+		c.Superframes = 10
+	}
+	if c.TrainSlotsPerUE == 0 {
+		c.TrainSlotsPerUE = 32
+	}
+	if c.DataSlots == 0 {
+		c.DataSlots = 512
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "round-robin"
+	}
+	if c.DriftSigmaDeg == 0 {
+		c.DriftSigmaDeg = 1
+	}
+	return c
+}
+
+// UEStat summarizes one user's run.
+type UEStat struct {
+	// UE is the user index.
+	UE int
+	// MeanSNRDB is the mean true SNR (dB) of the user's selected pairs.
+	MeanSNRDB float64
+	// MeanLossDB is the user's mean alignment loss.
+	MeanLossDB float64
+	// Bits is the user's accumulated data-phase throughput
+	// (bits/s/Hz × slots).
+	Bits float64
+	// SlotsServed counts the data slots the scheduler granted.
+	SlotsServed int
+}
+
+// NetworkStats aggregates a multi-user run.
+type NetworkStats struct {
+	// PerUE holds each user's summary.
+	PerUE []UEStat
+	// SumBits is the cell throughput.
+	SumBits float64
+	// GenieBits is the cell throughput of a genie with perfect beams and
+	// zero training overhead under round-robin scheduling.
+	GenieBits float64
+	// Efficiency is SumBits/GenieBits.
+	Efficiency float64
+	// Fairness is Jain's index over per-user bits (1 = perfectly fair).
+	Fairness float64
+}
+
+// RunNetwork executes the multi-user simulation.
+func RunNetwork(cfg NetworkConfig) (NetworkStats, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Scheduler {
+	case "round-robin", "max-rate":
+	default:
+		return NetworkStats{}, fmt.Errorf("mac: unknown scheduler %q", cfg.Scheduler)
+	}
+	root := rng.New(cfg.Seed)
+	tx, rx, _, _ := cfg.Link.books()
+	gamma := channel.DBToLinear(cfg.Link.GammaDB)
+	drift := cfg.DriftSigmaDeg * math.Pi / 180
+
+	// Independent channel per user.
+	channels := make([]*channel.Channel, cfg.NumUEs)
+	for u := range channels {
+		ch, err := cfg.Link.newChannel(root.SplitIndexed("channel", u), tx, rx)
+		if err != nil {
+			return NetworkStats{}, fmt.Errorf("mac: UE %d channel: %w", u, err)
+		}
+		channels[u] = ch
+	}
+	driftSrc := root.Split("drift")
+
+	stats := NetworkStats{PerUE: make([]UEStat, cfg.NumUEs)}
+	for u := range stats.PerUE {
+		stats.PerUE[u].UE = u
+	}
+	var sumGenie float64
+	snrSum := make([]float64, cfg.NumUEs)
+	lossSum := make([]float64, cfg.NumUEs)
+
+	for f := 0; f < cfg.Superframes; f++ {
+		// Training phase: every UE aligns on its own channel.
+		selSNR := make([]float64, cfg.NumUEs)
+		optSNR := make([]float64, cfg.NumUEs)
+		for u := 0; u < cfg.NumUEs; u++ {
+			tr, _, err := alignOnce(cfg.Link, channels[u], gamma,
+				root.SplitIndexed(fmt.Sprintf("noise-%d", u), f),
+				root.SplitIndexed(fmt.Sprintf("strategy-%d", u), f),
+				cfg.TrainSlotsPerUE)
+			if err != nil {
+				return NetworkStats{}, fmt.Errorf("mac: UE %d frame %d: %w", u, f, err)
+			}
+			selSNR[u] = tr.BestTrueSNR
+			optSNR[u] = tr.OptSNR
+			snrSum[u] += channel.LinearToDB(tr.BestTrueSNR)
+			lossSum[u] += tr.FinalLossDB()
+		}
+
+		// Data phase: scheduler splits DataSlots.
+		share := make([]int, cfg.NumUEs)
+		switch cfg.Scheduler {
+		case "round-robin":
+			base := cfg.DataSlots / cfg.NumUEs
+			rem := cfg.DataSlots % cfg.NumUEs
+			for u := range share {
+				share[u] = base
+				if u < rem {
+					share[u]++
+				}
+			}
+		case "max-rate":
+			best := 0
+			for u := 1; u < cfg.NumUEs; u++ {
+				if selSNR[u] > selSNR[best] {
+					best = u
+				}
+			}
+			share[best] = cfg.DataSlots
+		}
+		for u := 0; u < cfg.NumUEs; u++ {
+			stats.PerUE[u].Bits += float64(share[u]) * math.Log2(1+selSNR[u])
+			stats.PerUE[u].SlotsServed += share[u]
+		}
+
+		// Genie reference: perfect beams, no training overhead, fair
+		// split of the whole superframe.
+		total := cfg.DataSlots + cfg.NumUEs*cfg.TrainSlotsPerUE
+		for u := 0; u < cfg.NumUEs; u++ {
+			sumGenie += float64(total) / float64(cfg.NumUEs) * math.Log2(1+optSNR[u])
+		}
+
+		for u := 0; u < cfg.NumUEs; u++ {
+			channels[u].Drift(driftSrc, drift)
+		}
+	}
+
+	var sum, sumSq float64
+	for u := range stats.PerUE {
+		stats.PerUE[u].MeanSNRDB = snrSum[u] / float64(cfg.Superframes)
+		stats.PerUE[u].MeanLossDB = lossSum[u] / float64(cfg.Superframes)
+		stats.SumBits += stats.PerUE[u].Bits
+		sum += stats.PerUE[u].Bits
+		sumSq += stats.PerUE[u].Bits * stats.PerUE[u].Bits
+	}
+	stats.GenieBits = sumGenie
+	if sumGenie > 0 {
+		stats.Efficiency = stats.SumBits / sumGenie
+	}
+	if sumSq > 0 {
+		stats.Fairness = sum * sum / (float64(cfg.NumUEs) * sumSq)
+	}
+	return stats, nil
+}

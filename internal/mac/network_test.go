@@ -1,0 +1,162 @@
+package mac
+
+import (
+	"math"
+	"testing"
+)
+
+func tinyNetwork() NetworkConfig {
+	return NetworkConfig{
+		Link:            smallLink(),
+		NumUEs:          3,
+		Superframes:     4,
+		TrainSlotsPerUE: 16,
+		DataSlots:       90,
+		Seed:            1,
+	}
+}
+
+func TestRunNetworkBasics(t *testing.T) {
+	stats, err := RunNetwork(tinyNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PerUE) != 3 {
+		t.Fatalf("PerUE = %d", len(stats.PerUE))
+	}
+	if stats.Efficiency <= 0 || stats.Efficiency > 1 {
+		t.Errorf("efficiency = %g", stats.Efficiency)
+	}
+	if stats.Fairness <= 0 || stats.Fairness > 1+1e-12 {
+		t.Errorf("fairness = %g", stats.Fairness)
+	}
+	var sum float64
+	totalSlots := 0
+	for _, ue := range stats.PerUE {
+		if ue.Bits < 0 {
+			t.Errorf("UE %d negative throughput", ue.UE)
+		}
+		if ue.MeanLossDB < 0 {
+			t.Errorf("UE %d negative loss", ue.UE)
+		}
+		sum += ue.Bits
+		totalSlots += ue.SlotsServed
+	}
+	if math.Abs(sum-stats.SumBits) > 1e-9 {
+		t.Errorf("SumBits %g != Σ per-UE %g", stats.SumBits, sum)
+	}
+	if want := 4 * 90; totalSlots != want {
+		t.Errorf("served %d data slots, want %d", totalSlots, want)
+	}
+}
+
+func TestRunNetworkRoundRobinIsFair(t *testing.T) {
+	cfg := tinyNetwork()
+	cfg.Scheduler = "round-robin"
+	stats, err := RunNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal slot shares: every UE serves the same count (±rounding).
+	min, max := stats.PerUE[0].SlotsServed, stats.PerUE[0].SlotsServed
+	for _, ue := range stats.PerUE[1:] {
+		if ue.SlotsServed < min {
+			min = ue.SlotsServed
+		}
+		if ue.SlotsServed > max {
+			max = ue.SlotsServed
+		}
+	}
+	if max-min > cfg.Superframes {
+		t.Errorf("round-robin slot spread %d..%d too wide", min, max)
+	}
+}
+
+func TestRunNetworkMaxRateConcentrates(t *testing.T) {
+	cfg := tinyNetwork()
+	cfg.Scheduler = "max-rate"
+	stats, err := RunNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All data slots of each frame go to one user; fairness must be
+	// below round-robin's.
+	rrCfg := tinyNetwork()
+	rrCfg.Scheduler = "round-robin"
+	rr, err := RunNetwork(rrCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fairness > rr.Fairness+1e-9 {
+		t.Errorf("max-rate fairness %g not below round-robin %g", stats.Fairness, rr.Fairness)
+	}
+	total := 0
+	for _, ue := range stats.PerUE {
+		total += ue.SlotsServed
+	}
+	if want := cfg.Superframes * cfg.DataSlots; total != want {
+		t.Errorf("served %d slots, want %d", total, want)
+	}
+}
+
+func TestRunNetworkMaxRateSumThroughputAtLeastRoundRobin(t *testing.T) {
+	// Giving every slot to the best user cannot reduce cell sum
+	// throughput relative to an equal split of the same slots.
+	mr := tinyNetwork()
+	mr.Scheduler = "max-rate"
+	a, err := RunNetwork(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := tinyNetwork()
+	rr.Scheduler = "round-robin"
+	b, err := RunNetwork(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SumBits+1e-9 < b.SumBits {
+		t.Errorf("max-rate sum %g below round-robin %g", a.SumBits, b.SumBits)
+	}
+}
+
+func TestRunNetworkRejectsUnknownScheduler(t *testing.T) {
+	cfg := tinyNetwork()
+	cfg.Scheduler = "lottery"
+	if _, err := RunNetwork(cfg); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestRunNetworkDeterministic(t *testing.T) {
+	a, err := RunNetwork(tinyNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNetwork(tinyNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SumBits != b.SumBits || a.Fairness != b.Fairness {
+		t.Error("same seed produced different network results")
+	}
+}
+
+func TestRunNetworkMoreUsersMoreOverhead(t *testing.T) {
+	// With fixed data slots, doubling the user count doubles training
+	// overhead, so efficiency must not improve.
+	small := tinyNetwork()
+	small.NumUEs = 2
+	big := tinyNetwork()
+	big.NumUEs = 6
+	a, err := RunNetwork(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNetwork(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Efficiency > a.Efficiency+0.1 {
+		t.Errorf("6-UE efficiency %g implausibly above 2-UE %g", b.Efficiency, a.Efficiency)
+	}
+}

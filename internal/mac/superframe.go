@@ -1,0 +1,170 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/channel"
+	"mmwalign/internal/rng"
+)
+
+// SuperframeConfig parameterizes the training-versus-data airtime
+// simulation: a sequence of superframes, each opening with TrainSlots
+// measurement slots of beam alignment and closing with DataSlots data
+// slots served on the selected pair, over a channel whose geometry
+// drifts between superframes.
+type SuperframeConfig struct {
+	// Link is the radio configuration.
+	Link LinkConfig
+	// Superframes is the number of simulated superframes (default 20).
+	Superframes int
+	// TrainSlots is the alignment measurement budget per superframe
+	// (default 64).
+	TrainSlots int
+	// DataSlots is the data-phase length per superframe (default 448,
+	// giving the common ~1:8 control/data split).
+	DataSlots int
+	// DriftSigmaDeg is the per-superframe path-angle random-walk
+	// standard deviation in degrees (default 1).
+	DriftSigmaDeg float64
+	// Blockage, when non-nil, adds a dynamic cluster-blockage process
+	// stepped once per superframe.
+	Blockage *BlockageConfig
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// BlockageConfig parameterizes the per-superframe blockage process.
+type BlockageConfig struct {
+	// PBlock and PUnblock are per-superframe transition probabilities.
+	PBlock, PUnblock float64
+	// AttenuationDB is the blockage depth (default 25).
+	AttenuationDB float64
+}
+
+func (c SuperframeConfig) withDefaults() SuperframeConfig {
+	c.Link = c.Link.withDefaults()
+	if c.Superframes == 0 {
+		c.Superframes = 20
+	}
+	if c.TrainSlots == 0 {
+		c.TrainSlots = 64
+	}
+	if c.DataSlots == 0 {
+		c.DataSlots = 448
+	}
+	if c.DriftSigmaDeg == 0 {
+		c.DriftSigmaDeg = 1
+	}
+	return c
+}
+
+// FrameStat records one superframe's outcome.
+type FrameStat struct {
+	// Frame is the superframe index.
+	Frame int
+	// BlockedClusters is the number of blocked clusters during the
+	// frame (0 when no blockage process is configured).
+	BlockedClusters int
+	// SelectedSNRDB is the true SNR (dB) of the pair picked by training.
+	SelectedSNRDB float64
+	// OptimalSNRDB is the oracle pair's SNR (dB) on the same channel.
+	OptimalSNRDB float64
+	// LossDB is the alignment SNR loss of this frame.
+	LossDB float64
+	// DataBits is the data-phase throughput in bits/s/Hz × slots
+	// (Shannon rate on the selected pair times DataSlots).
+	DataBits float64
+	// GenieBits is the throughput of a genie that needs no training and
+	// always holds the optimal pair for the entire superframe.
+	GenieBits float64
+}
+
+// SuperframeStats aggregates a run.
+type SuperframeStats struct {
+	// Frames holds the per-superframe records.
+	Frames []FrameStat
+	// MeanLossDB is the mean alignment loss across frames.
+	MeanLossDB float64
+	// Efficiency is Σ DataBits / Σ GenieBits — the fraction of the
+	// genie's throughput the protocol actually delivers after paying
+	// training overhead and alignment loss.
+	Efficiency float64
+}
+
+// RunSuperframes executes the superframe simulation.
+func RunSuperframes(cfg SuperframeConfig) (SuperframeStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TrainSlots < 1 {
+		return SuperframeStats{}, fmt.Errorf("mac: TrainSlots %d must be positive", cfg.TrainSlots)
+	}
+	root := rng.New(cfg.Seed)
+	link := cfg.Link
+	tx, rx, _, _ := link.books()
+	ch, err := link.newChannel(root.Split("channel"), tx, rx)
+	if err != nil {
+		return SuperframeStats{}, fmt.Errorf("mac: channel: %w", err)
+	}
+	gamma := channel.DBToLinear(link.GammaDB)
+	drift := cfg.DriftSigmaDeg * math.Pi / 180
+	driftSrc := root.Split("drift")
+
+	var blocker *channel.Blocker
+	blockSrc := root.Split("blockage")
+	if cfg.Blockage != nil {
+		att := cfg.Blockage.AttenuationDB
+		if att == 0 {
+			att = 25
+		}
+		groupSize := 1
+		if link.Multipath {
+			groupSize = channel.DefaultNYC28().SubpathsPerCluster
+		}
+		blocker, err = channel.NewBlocker(ch, groupSize, cfg.Blockage.PBlock, cfg.Blockage.PUnblock, att)
+		if err != nil {
+			return SuperframeStats{}, fmt.Errorf("mac: blockage: %w", err)
+		}
+	}
+
+	var stats SuperframeStats
+	var sumLoss, sumBits, sumGenie float64
+	totalSlots := float64(cfg.TrainSlots + cfg.DataSlots)
+	for f := 0; f < cfg.Superframes; f++ {
+		blockedClusters := 0
+		if blocker != nil {
+			blocker.Step(blockSrc)
+			blockedClusters = blocker.BlockedCount()
+		}
+		tr, env, err := alignOnce(link, ch, gamma,
+			root.SplitIndexed("noise", f), root.SplitIndexed("strategy", f), cfg.TrainSlots)
+		if err != nil {
+			return SuperframeStats{}, fmt.Errorf("mac: superframe %d: %w", f, err)
+		}
+		_ = env
+		sel := tr.BestTrueSNR
+		opt := tr.OptSNR
+		loss := tr.FinalLossDB()
+
+		dataBits := float64(cfg.DataSlots) * math.Log2(1+sel)
+		genieBits := totalSlots * math.Log2(1+opt)
+		stats.Frames = append(stats.Frames, FrameStat{
+			Frame:           f,
+			BlockedClusters: blockedClusters,
+			SelectedSNRDB:   channel.LinearToDB(sel),
+			OptimalSNRDB:    channel.LinearToDB(opt),
+			LossDB:          loss,
+			DataBits:        dataBits,
+			GenieBits:       genieBits,
+		})
+		sumLoss += loss
+		sumBits += dataBits
+		sumGenie += genieBits
+
+		ch.Drift(driftSrc, drift)
+	}
+	stats.MeanLossDB = sumLoss / float64(len(stats.Frames))
+	if sumGenie > 0 {
+		stats.Efficiency = sumBits / sumGenie
+	}
+	return stats, nil
+}

@@ -1,0 +1,96 @@
+package mac
+
+import (
+	"math"
+
+	"mmwalign/internal/align"
+	"mmwalign/internal/meas"
+)
+
+// TraceAlignment replays a completed alignment run as the control-frame
+// exchange a BS and UE would perform on the air: one beacon, a
+// train-request per TX slot, a measurement-report per sounding, and a
+// closing beam-feedback with the selected pair. The result is the
+// marshaled frame sequence, ready to feed a radio prototype, a packet
+// trace, or a protocol-conformance check.
+//
+// bs and ue are the node addresses; downlink frames (beacon, train
+// requests) go bs→ue and uplink frames (reports, feedback) ue→bs.
+func TraceAlignment(superframeID uint32, bs, ue uint16, trainSlots, dataSlots, txBeams int, ms []meas.Measurement, best align.Pair, bestSNRdB float64) [][]byte {
+	var frames [][]byte
+	var seqDown, seqUp uint16
+
+	frames = append(frames, Beacon{
+		Header:       Header{Seq: seqDown, Src: bs, Dst: ue},
+		SuperframeID: superframeID,
+		TrainSlots:   clampUint16(trainSlots),
+		DataSlots:    clampUint16(dataSlots),
+		TXBeams:      clampUint16(txBeams),
+	}.Marshal())
+	seqDown++
+
+	slot := -1
+	lastTX := -2 // impossible beam so the first measurement opens a slot
+	for _, m := range ms {
+		if m.TXBeam != lastTX {
+			slot++
+			lastTX = m.TXBeam
+			frames = append(frames, TrainRequest{
+				Header:       Header{Seq: seqDown, Src: bs, Dst: ue},
+				TXBeam:       clampUint16(m.TXBeam),
+				SlotIndex:    clampUint16(slot),
+				Measurements: countSlotMeasurements(ms, m.TXBeam, slot),
+			}.Marshal())
+			seqDown++
+		}
+		rx := m.RXBeam
+		if rx < 0 {
+			rx = math.MaxUint16 // sector sounding marker on the wire
+		}
+		frames = append(frames, MeasurementReport{
+			Header: Header{Seq: seqUp, Src: ue, Dst: bs},
+			TXBeam: clampUint16(m.TXBeam),
+			RXBeam: clampUint16(rx),
+			Energy: m.Energy,
+		}.Marshal())
+		seqUp++
+	}
+
+	frames = append(frames, BeamFeedback{
+		Header:     Header{Seq: seqUp, Src: ue, Dst: bs},
+		BestTXBeam: clampUint16(best.TX),
+		BestRXBeam: clampUint16(best.RX),
+		SNRCentiDB: int32(math.Round(bestSNRdB * 100)),
+	}.Marshal())
+	return frames
+}
+
+// countSlotMeasurements counts the run of measurements with the given TX
+// beam starting at the slot's first occurrence; capped at 255 by the
+// wire format.
+func countSlotMeasurements(ms []meas.Measurement, txBeam, slot int) uint8 {
+	count, cur, last := 0, -1, -2
+	for _, m := range ms {
+		if m.TXBeam != last {
+			cur++
+			last = m.TXBeam
+		}
+		if cur == slot && m.TXBeam == txBeam {
+			count++
+		}
+	}
+	if count > 255 {
+		count = 255
+	}
+	return uint8(count)
+}
+
+func clampUint16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(v)
+}

@@ -1,0 +1,241 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/align"
+	"mmwalign/internal/channel"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/rng"
+)
+
+// TrackerConfig parameterizes the beam-tracking simulation: after an
+// initial full alignment, each superframe spends only a handful of
+// slots re-sounding the current pair and its spatial neighbors
+// (tracking), escalating to a full realignment when the measured SNR
+// collapses — the blockage/drift recovery loop a deployed MAC would run
+// on top of the paper's alignment scheme.
+type TrackerConfig struct {
+	// Link is the radio configuration.
+	Link LinkConfig
+	// Superframes is the simulated horizon (default 20).
+	Superframes int
+	// SlotBudget is the total slots per superframe, split between
+	// training (tracking or realignment) and data (default 512).
+	SlotBudget int
+	// FullTrainSlots is the budget of a full (re)alignment (default 96).
+	FullTrainSlots int
+	// TrackSlots is the per-frame tracking budget (default 8).
+	TrackSlots int
+	// DropThresholdDB triggers a full realignment when the tracked
+	// measured SNR falls this far below the post-alignment reference
+	// (default 10).
+	DropThresholdDB float64
+	// DriftSigmaDeg is the per-frame angle drift (default 1).
+	DriftSigmaDeg float64
+	// Blockage, when non-nil, adds the cluster blockage process.
+	Blockage *BlockageConfig
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c TrackerConfig) withDefaults() TrackerConfig {
+	c.Link = c.Link.withDefaults()
+	if c.Superframes == 0 {
+		c.Superframes = 20
+	}
+	if c.SlotBudget == 0 {
+		c.SlotBudget = 512
+	}
+	if c.FullTrainSlots == 0 {
+		c.FullTrainSlots = 96
+	}
+	if c.TrackSlots == 0 {
+		c.TrackSlots = 8
+	}
+	if c.DropThresholdDB == 0 {
+		c.DropThresholdDB = 10
+	}
+	if c.DriftSigmaDeg == 0 {
+		c.DriftSigmaDeg = 1
+	}
+	return c
+}
+
+// TrackerFrame records one superframe of the tracking loop.
+type TrackerFrame struct {
+	// Frame is the superframe index.
+	Frame int
+	// Mode is "full" for a full realignment frame, "track" otherwise.
+	Mode string
+	// TrainSlotsUsed is the training cost paid this frame.
+	TrainSlotsUsed int
+	// SelectedSNRDB and OptimalSNRDB are true SNRs (dB) of the held pair
+	// and the oracle pair on this frame's channel.
+	SelectedSNRDB, OptimalSNRDB float64
+	// LossDB is their difference.
+	LossDB float64
+	// BlockedClusters counts blocked clusters during the frame.
+	BlockedClusters int
+}
+
+// TrackerStats aggregates a tracking run.
+type TrackerStats struct {
+	// Frames holds per-frame records.
+	Frames []TrackerFrame
+	// FullRealigns counts full realignment frames (including frame 0).
+	FullRealigns int
+	// MeanTrainSlots is the mean per-frame training cost.
+	MeanTrainSlots float64
+	// MeanLossDB is the mean alignment loss.
+	MeanLossDB float64
+	// Efficiency is delivered/genie throughput as in RunSuperframes.
+	Efficiency float64
+}
+
+// RunTracker executes the tracking simulation.
+func RunTracker(cfg TrackerConfig) (TrackerStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TrackSlots < 1 || cfg.FullTrainSlots < 1 || cfg.SlotBudget <= cfg.FullTrainSlots {
+		return TrackerStats{}, fmt.Errorf("mac: tracker slots invalid: budget %d, full %d, track %d",
+			cfg.SlotBudget, cfg.FullTrainSlots, cfg.TrackSlots)
+	}
+	root := rng.New(cfg.Seed)
+	link := cfg.Link
+	tx, rx, txBook, rxBook := link.books()
+	ch, err := link.newChannel(root.Split("channel"), tx, rx)
+	if err != nil {
+		return TrackerStats{}, fmt.Errorf("mac: tracker channel: %w", err)
+	}
+	gamma := channel.DBToLinear(link.GammaDB)
+	drift := cfg.DriftSigmaDeg * math.Pi / 180
+	driftSrc := root.Split("drift")
+
+	var blocker *channel.Blocker
+	blockSrc := root.Split("blockage")
+	if cfg.Blockage != nil {
+		att := cfg.Blockage.AttenuationDB
+		if att == 0 {
+			att = 25
+		}
+		groupSize := 1
+		if link.Multipath {
+			groupSize = channel.DefaultNYC28().SubpathsPerCluster
+		}
+		blocker, err = channel.NewBlocker(ch, groupSize, cfg.Blockage.PBlock, cfg.Blockage.PUnblock, att)
+		if err != nil {
+			return TrackerStats{}, fmt.Errorf("mac: tracker blockage: %w", err)
+		}
+	}
+
+	var stats TrackerStats
+	var sumLoss, sumBits, sumGenie, sumSlots float64
+	var current align.Pair
+	refSNRdB := math.Inf(-1)
+	needFull := true
+
+	for f := 0; f < cfg.Superframes; f++ {
+		blockedClusters := 0
+		if blocker != nil {
+			blocker.Step(blockSrc)
+			blockedClusters = blocker.BlockedCount()
+		}
+
+		sounder, err := meas.NewSounder(ch, gamma, root.SplitIndexed("noise", f))
+		if err != nil {
+			return TrackerStats{}, fmt.Errorf("mac: tracker sounder: %w", err)
+		}
+		sounder.SetSnapshots(link.Snapshots)
+		env := &align.Env{TXBook: txBook, RXBook: rxBook, Sounder: sounder, Src: root.SplitIndexed("strategy", f)}
+
+		mode := "track"
+		trainUsed := 0
+		if needFull {
+			mode = "full"
+			strat, err := link.strategy(gamma, rxBook)
+			if err != nil {
+				return TrackerStats{}, err
+			}
+			tr, err := align.Evaluate(env, strat, cfg.FullTrainSlots)
+			if err != nil {
+				return TrackerStats{}, fmt.Errorf("mac: tracker frame %d: %w", f, err)
+			}
+			current = tr.BestPair
+			refSNRdB = channel.LinearToDB(tr.BestMeasuredSNR)
+			trainUsed = len(tr.LossDB)
+			stats.FullRealigns++
+			needFull = false
+		} else {
+			best, bestEst, used := trackStep(env, current, cfg.TrackSlots)
+			current = best
+			trainUsed = used
+			measuredDB := channel.LinearToDB(bestEst)
+			if measuredDB < refSNRdB-cfg.DropThresholdDB {
+				needFull = true // escalate next frame
+			} else {
+				// Slowly adapt the reference to legitimate drift.
+				refSNRdB = 0.9*refSNRdB + 0.1*measuredDB
+			}
+		}
+
+		sel := align.TrueSNROf(env, current)
+		_, opt := align.Oracle(env)
+		loss := math.Inf(1)
+		if sel > 0 {
+			loss = math.Max(0, 10*math.Log10(opt/sel))
+		}
+		dataSlots := cfg.SlotBudget - trainUsed
+		sumBits += float64(dataSlots) * math.Log2(1+sel)
+		sumGenie += float64(cfg.SlotBudget) * math.Log2(1+opt)
+		sumLoss += loss
+		sumSlots += float64(trainUsed)
+
+		stats.Frames = append(stats.Frames, TrackerFrame{
+			Frame:           f,
+			Mode:            mode,
+			TrainSlotsUsed:  trainUsed,
+			SelectedSNRDB:   channel.LinearToDB(sel),
+			OptimalSNRDB:    channel.LinearToDB(opt),
+			LossDB:          loss,
+			BlockedClusters: blockedClusters,
+		})
+
+		ch.Drift(driftSrc, drift)
+	}
+
+	n := float64(len(stats.Frames))
+	stats.MeanTrainSlots = sumSlots / n
+	stats.MeanLossDB = sumLoss / n
+	if sumGenie > 0 {
+		stats.Efficiency = sumBits / sumGenie
+	}
+	return stats, nil
+}
+
+// trackStep sounds the current pair and its spatial neighborhood (TX
+// neighbors with the held RX beam, RX neighbors with the held TX beam)
+// within the slot budget and returns the best measured pair, its
+// measured SNR estimate, and the slots consumed.
+func trackStep(env *align.Env, current align.Pair, budget int) (align.Pair, float64, int) {
+	candidates := []align.Pair{current}
+	for _, t := range env.TXBook.Neighbors(current.TX) {
+		candidates = append(candidates, align.Pair{TX: t, RX: current.RX})
+	}
+	for _, r := range env.RXBook.Neighbors(current.RX) {
+		candidates = append(candidates, align.Pair{TX: current.TX, RX: r})
+	}
+	best, bestEst := current, math.Inf(-1)
+	used := 0
+	for _, p := range candidates {
+		if used == budget {
+			break
+		}
+		m := env.MeasurePair(p)
+		used++
+		if est := m.SNREstimate(); est > bestEst {
+			best, bestEst = p, est
+		}
+	}
+	return best, bestEst, used
+}

@@ -1,0 +1,116 @@
+package mac
+
+import (
+	"testing"
+)
+
+func tinyTracker() TrackerConfig {
+	return TrackerConfig{
+		Link:           smallLink(),
+		Superframes:    8,
+		SlotBudget:     128,
+		FullTrainSlots: 32,
+		TrackSlots:     6,
+		Seed:           1,
+	}
+}
+
+func TestRunTrackerBasics(t *testing.T) {
+	stats, err := RunTracker(tinyTracker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Frames) != 8 {
+		t.Fatalf("frames = %d", len(stats.Frames))
+	}
+	if stats.Frames[0].Mode != "full" {
+		t.Error("frame 0 must be a full alignment")
+	}
+	if stats.FullRealigns < 1 {
+		t.Error("no full realignments recorded")
+	}
+	for _, f := range stats.Frames {
+		switch f.Mode {
+		case "full":
+			if f.TrainSlotsUsed > 32 {
+				t.Errorf("frame %d full used %d slots", f.Frame, f.TrainSlotsUsed)
+			}
+		case "track":
+			if f.TrainSlotsUsed > 6 {
+				t.Errorf("frame %d track used %d slots", f.Frame, f.TrainSlotsUsed)
+			}
+		default:
+			t.Errorf("frame %d unknown mode %q", f.Frame, f.Mode)
+		}
+		if f.SelectedSNRDB > f.OptimalSNRDB+1e-9 {
+			t.Errorf("frame %d beats the oracle", f.Frame)
+		}
+	}
+	if stats.Efficiency <= 0 || stats.Efficiency > 1 {
+		t.Errorf("efficiency = %g", stats.Efficiency)
+	}
+}
+
+func TestRunTrackerCheaperThanAlwaysRealigning(t *testing.T) {
+	// Tracking's point: mean training cost far below the full budget.
+	stats, err := RunTracker(tinyTracker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanTrainSlots >= 32 {
+		t.Errorf("mean training cost %.1f slots, not below full 32", stats.MeanTrainSlots)
+	}
+}
+
+func TestRunTrackerValidation(t *testing.T) {
+	cfg := tinyTracker()
+	cfg.SlotBudget = 16 // below FullTrainSlots
+	if _, err := RunTracker(cfg); err == nil {
+		t.Error("budget below full-train accepted")
+	}
+}
+
+func TestRunTrackerDeterministic(t *testing.T) {
+	a, err := RunTracker(tinyTracker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTracker(tinyTracker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLossDB != b.MeanLossDB || a.FullRealigns != b.FullRealigns {
+		t.Error("same seed produced different tracker results")
+	}
+}
+
+func TestRunTrackerBlockageTriggersRealign(t *testing.T) {
+	// Deep, frequent blockage on a single-path channel must trip the
+	// SNR-drop escalation at least once after frame 0.
+	cfg := tinyTracker()
+	cfg.Superframes = 12
+	cfg.Blockage = &BlockageConfig{PBlock: 0.4, PUnblock: 0.4, AttenuationDB: 30}
+	cfg.DropThresholdDB = 6
+	stats, err := RunTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FullRealigns < 2 {
+		t.Errorf("blockage never escalated to a realign (%d full frames)", stats.FullRealigns)
+	}
+}
+
+func TestRunTrackerTracksDrift(t *testing.T) {
+	// With slow drift and no blockage, tracking should hold the loss to
+	// a usable level while spending a fraction of the full budget.
+	cfg := tinyTracker()
+	cfg.Superframes = 10
+	cfg.DriftSigmaDeg = 0.5
+	stats, err := RunTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanLossDB > 20 {
+		t.Errorf("tracked mean loss %.1f dB; tracking is not holding the beam", stats.MeanLossDB)
+	}
+}

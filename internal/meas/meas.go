@@ -1,0 +1,176 @@
+// Package meas implements the paper's sounding and measurement model
+// (Sec. III-B): within a TX slot the transmitter dwells on a beam u, the
+// receiver steers to a beam v and observes the matched-filter output
+//
+//	z = √γ · vᴴ·H·u + e,   e ~ CN(0, 1),
+//
+// where γ = E_s/N₀ is the pre-beamforming SNR and the noise has been
+// normalized to unit variance. The measurement energy |z|² is the
+// sufficient statistic the covariance estimator consumes (paper Eq. 11),
+// with E|z|² = 1 + γ·vᴴ·Q_u·v = γ·vᴴ(Q_u + γ⁻¹I)v, matching the paper's
+// λ(Q) up to the γ normalization.
+package meas
+
+import (
+	"fmt"
+	"math"
+
+	"mmwalign/internal/channel"
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// Measurement is one sounded beam pair observation.
+type Measurement struct {
+	// TXBeam and RXBeam are codebook indices of the sounded pair.
+	TXBeam, RXBeam int
+	// U and V are the beamforming vectors used.
+	U, V cmat.Vector
+	// Z is the noise-normalized matched-filter output.
+	Z complex128
+	// Energy is |Z|².
+	Energy float64
+}
+
+// SNREstimate returns the unbiased post-beamforming SNR estimate from
+// this single measurement: |z|² − 1 (the noise floor is 1 after
+// normalization), clamped at 0.
+func (m Measurement) SNREstimate() float64 {
+	s := m.Energy - 1
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Sounder performs beam-pair measurements over a channel. It owns the
+// measurement-noise and fading randomness so that independent strategy
+// runs over the same channel can be made statistically identical.
+type Sounder struct {
+	ch        *channel.Channel
+	gamma     float64
+	src       *rng.Source
+	snapshots int
+	// count tracks how many measurements were taken (cost accounting).
+	count int
+}
+
+// NewSounder creates a sounder with pre-beamforming SNR gamma = E_s/N₀
+// (linear). Returns an error if gamma is not positive.
+func NewSounder(ch *channel.Channel, gamma float64, src *rng.Source) (*Sounder, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("meas: gamma %g must be positive", gamma)
+	}
+	return &Sounder{ch: ch, gamma: gamma, src: src, snapshots: 1}, nil
+}
+
+// SetSnapshots sets the number of independent fading+noise snapshots
+// averaged into each measurement's energy (the length of the sounding
+// dwell in coherence intervals). More snapshots shrink both the fading
+// and noise variance of the energy statistic while keeping its mean at
+// λ = 1 + γ·vᴴQ_u·v, so the covariance estimator is unaffected in
+// expectation. k < 1 is clamped to 1.
+func (s *Sounder) SetSnapshots(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.snapshots = k
+}
+
+// Snapshots returns the per-measurement snapshot count.
+func (s *Sounder) Snapshots() int { return s.snapshots }
+
+// Gamma returns the pre-beamforming SNR (linear).
+func (s *Sounder) Gamma() float64 { return s.gamma }
+
+// Channel returns the underlying channel.
+func (s *Sounder) Channel() *channel.Channel { return s.ch }
+
+// Count returns the number of measurements taken so far.
+func (s *Sounder) Count() int { return s.count }
+
+// Measure sounds the pair (u, v), drawing a fresh fading realization per
+// snapshot — the paper's independently-faded-per-measurement assumption.
+// txBeam and rxBeam are carried through for bookkeeping.
+func (s *Sounder) Measure(txBeam, rxBeam int, u, v cmat.Vector) Measurement {
+	s.count++
+	var energy float64
+	var last complex128
+	sg := complex(math.Sqrt(s.gamma), 0)
+	sample := s.ch.ResponseSampler(u, v)
+	for k := 0; k < s.snapshots; k++ {
+		last = sg*sample(s.src) + s.src.ComplexNormal(1)
+		energy += real(last)*real(last) + imag(last)*imag(last)
+	}
+	return Measurement{
+		TXBeam: txBeam,
+		RXBeam: rxBeam,
+		U:      u,
+		V:      v,
+		Z:      last,
+		Energy: energy / float64(s.snapshots),
+	}
+}
+
+// MeasureWithChannel sounds the pair against a caller-supplied channel
+// matrix (used by MAC simulations that keep H coherent within a slot or
+// evolve it with aging). The fading is frozen to h; only the noise is
+// averaged across snapshots.
+func (s *Sounder) MeasureWithChannel(txBeam, rxBeam int, u, v cmat.Vector, h *cmat.Matrix) Measurement {
+	s.count++
+	var energy float64
+	var last complex128
+	for k := 0; k < s.snapshots; k++ {
+		last = s.snapshot(u, v, h)
+		energy += real(last)*real(last) + imag(last)*imag(last)
+	}
+	return Measurement{
+		TXBeam: txBeam,
+		RXBeam: rxBeam,
+		U:      u,
+		V:      v,
+		Z:      last,
+		Energy: energy / float64(s.snapshots),
+	}
+}
+
+// snapshot produces one noise-normalized matched-filter output.
+func (s *Sounder) snapshot(u, v cmat.Vector, h *cmat.Matrix) complex128 {
+	sig := v.Dot(h.MulVec(u))
+	return complex(math.Sqrt(s.gamma), 0)*sig + s.src.ComplexNormal(1)
+}
+
+// VectorMeasurement is one full-vector (digital beamforming) snapshot:
+// the receiver observes every antenna element at once instead of a
+// single beamformed scalar. This is the observation model of a
+// fully-digital receiver front end — one RF chain per antenna — used as
+// the upper-bound comparator for the paper's analog architecture.
+type VectorMeasurement struct {
+	// TXBeam is the codebook index of the transmit beam.
+	TXBeam int
+	// U is the transmit beamforming vector used.
+	U cmat.Vector
+	// Y is the noise-normalized received vector √γ·H·u + n, n ~ CN(0,I).
+	Y cmat.Vector
+}
+
+// MeasureVector takes one digital snapshot under TX beam u, drawing a
+// fresh fading realization. It consumes one measurement slot (the
+// digital receiver's advantage is bandwidth per slot, not slot count).
+func (s *Sounder) MeasureVector(txBeam int, u cmat.Vector) VectorMeasurement {
+	s.count++
+	h := s.ch.Sample(s.src)
+	y := h.MulVec(u).Scale(complex(math.Sqrt(s.gamma), 0))
+	n := s.ch.RX.Elements()
+	for i := 0; i < n; i++ {
+		y[i] += s.src.ComplexNormal(1)
+	}
+	return VectorMeasurement{TXBeam: txBeam, U: u, Y: y}
+}
+
+// TrueSNR returns the ground-truth expected post-beamforming SNR of the
+// pair: γ·E|vᴴHu|². Strategies must not call this; it exists for the
+// metric layer (SNR-loss evaluation, Eq. 31).
+func (s *Sounder) TrueSNR(u, v cmat.Vector) float64 {
+	return s.gamma * s.ch.MeanPairGain(u, v)
+}

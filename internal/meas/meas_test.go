@@ -1,0 +1,174 @@
+package meas
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/channel"
+	"mmwalign/internal/rng"
+)
+
+func fixture(t *testing.T, gamma float64) (*Sounder, *channel.Channel) {
+	t.Helper()
+	tx, rx := antenna.NewUPA(4, 4), antenna.NewUPA(8, 8)
+	ch, err := channel.NewSinglePath(rng.New(100), tx, rx, channel.SinglePathSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSounder(ch, gamma, rng.New(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ch
+}
+
+func TestNewSounderRejectsBadGamma(t *testing.T) {
+	_, ch := fixture(t, 1)
+	for _, gamma := range []float64{0, -1} {
+		if _, err := NewSounder(ch, gamma, rng.New(1)); err == nil {
+			t.Errorf("gamma=%g: expected error", gamma)
+		}
+	}
+}
+
+func TestMeasureCountsAndMetadata(t *testing.T) {
+	s, ch := fixture(t, 1)
+	u := ch.TX.Steering(antenna.Direction{})
+	v := ch.RX.Steering(antenna.Direction{})
+	m := s.Measure(3, 7, u, v)
+	if m.TXBeam != 3 || m.RXBeam != 7 {
+		t.Errorf("beam metadata = (%d,%d), want (3,7)", m.TXBeam, m.RXBeam)
+	}
+	if s.Count() != 1 {
+		t.Errorf("Count = %d, want 1", s.Count())
+	}
+	s.Measure(0, 0, u, v)
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	if math.Abs(m.Energy-(real(m.Z)*real(m.Z)+imag(m.Z)*imag(m.Z))) > 1e-12 {
+		t.Error("Energy != |Z|²")
+	}
+}
+
+func TestMeasureMeanEnergyMatchesModel(t *testing.T) {
+	// E|z|² = 1 + γ·E|vᴴHu|² = 1 + TrueSNR.
+	gamma := 0.01
+	s, ch := fixture(t, gamma)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	want := 1 + s.TrueSNR(u, v)
+
+	const trials = 5000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += s.Measure(0, 0, u, v).Energy
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("mean energy = %g, want %g", got, want)
+	}
+}
+
+func TestTrueSNRMatchedPair(t *testing.T) {
+	gamma := 2.0
+	s, ch := fixture(t, gamma)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	// Matched single path: E|vᴴHu|² = M·N.
+	want := gamma * 16 * 64
+	if got := s.TrueSNR(u, v); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("TrueSNR = %g, want %g", got, want)
+	}
+}
+
+func TestSNREstimateClampedAtZero(t *testing.T) {
+	m := Measurement{Energy: 0.5}
+	if got := m.SNREstimate(); got != 0 {
+		t.Errorf("SNREstimate = %g, want 0", got)
+	}
+	m = Measurement{Energy: 3.5}
+	if got := m.SNREstimate(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("SNREstimate = %g, want 2.5", got)
+	}
+}
+
+func TestSNREstimateUnbiased(t *testing.T) {
+	gamma := 0.05
+	s, ch := fixture(t, gamma)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	want := s.TrueSNR(u, v)
+	const trials = 5000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		// Average the raw (unclamped) estimator to check bias.
+		sum += s.Measure(0, 0, u, v).Energy - 1
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("mean SNR estimate = %g, want %g", got, want)
+	}
+}
+
+func TestMeasureWithChannelDeterministicSignal(t *testing.T) {
+	// With a supplied H and enormous gamma the noise is negligible and
+	// the energy is γ|vᴴHu|² — checks the signal path end to end.
+	s, ch := fixture(t, 1e9)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	h := ch.Sample(rng.New(7))
+	m := s.MeasureWithChannel(0, 0, u, v, h)
+	sig := v.Dot(h.MulVec(u))
+	want := 1e9 * (real(sig)*real(sig) + imag(sig)*imag(sig))
+	if math.Abs(m.Energy-want)/want > 1e-3 {
+		t.Errorf("energy = %g, want %g", m.Energy, want)
+	}
+}
+
+func TestMeasureVectorModel(t *testing.T) {
+	// E[y yᴴ] = γ·Q_u + I; verify the total power E‖y‖² = γ·tr(Q_u) + N.
+	gamma := 0.5
+	s, ch := fixture(t, gamma)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	qU := ch.RXCovariance(u)
+	want := gamma*real(qU.Trace()) + float64(ch.RX.Elements())
+
+	const trials = 2000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		vm := s.MeasureVector(3, u)
+		if vm.TXBeam != 3 || len(vm.Y) != 64 {
+			t.Fatalf("bad measurement metadata: %+v", vm.TXBeam)
+		}
+		for _, y := range vm.Y {
+			sum += real(y)*real(y) + imag(y)*imag(y)
+		}
+	}
+	got := sum / trials
+	if diff := (got - want) / want; diff > 0.1 || diff < -0.1 {
+		t.Errorf("E‖y‖² = %g, want %g", got, want)
+	}
+}
+
+func TestMeasureVectorCountsSlots(t *testing.T) {
+	s, ch := fixture(t, 1)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	before := s.Count()
+	s.MeasureVector(0, u)
+	if s.Count() != before+1 {
+		t.Errorf("Count = %d, want %d", s.Count(), before+1)
+	}
+}
+
+func TestMeasurementsVaryAcrossFades(t *testing.T) {
+	s, ch := fixture(t, 1)
+	u := ch.TX.Steering(ch.Paths[0].AoD)
+	v := ch.RX.Steering(ch.Paths[0].AoA)
+	m1 := s.Measure(0, 0, u, v)
+	m2 := s.Measure(0, 0, u, v)
+	if m1.Z == m2.Z {
+		t.Error("two measurements produced identical outputs")
+	}
+}

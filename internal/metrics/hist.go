@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval; values
+// outside the interval are clamped into the edge bins so no observation
+// is silently dropped.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi].
+// Panics if n < 1 or hi ≤ lo (programmer errors).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic(fmt.Sprintf("metrics: histogram needs ≥1 bin, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("metrics: histogram range [%g, %g] is empty", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, n)}
+}
+
+// Add folds a value into the histogram. Non-finite values are ignored
+// and the method reports whether the value was counted.
+func (h *Histogram) Add(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+	return true
+}
+
+// Total returns the number of counted observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the count of bin i and its [lo, hi) range.
+func (h *Histogram) Bin(i int) (count int, lo, hi float64) {
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	return h.counts[i], h.lo + float64(i)*width, h.lo + float64(i+1)*width
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// WriteASCII renders the histogram as horizontal bars.
+func (h *Histogram) WriteASCII(w io.Writer, title string, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d)\n", title, h.total)
+	max := 0
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i := range h.counts {
+		c, lo, hi := h.Bin(i)
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&sb, "  [%8.2f, %8.2f) %-*s %d\n", lo, hi, width, strings.Repeat("#", bar), c)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ECDF returns the empirical cumulative distribution of xs as a Series:
+// X is the sorted sample, Y the cumulative fraction ≤ X. Non-finite
+// samples are dropped. Returns an empty series for empty input.
+func ECDF(name string, xs []float64) Series {
+	var clean []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			clean = append(clean, x)
+		}
+	}
+	sort.Float64s(clean)
+	s := Series{Name: name}
+	n := float64(len(clean))
+	for i, x := range clean {
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, float64(i+1)/n)
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// jsonSeries is the wire form of a Series; non-finite values are
+// emitted as strings ("inf", "-inf", "nan") since JSON has no literals
+// for them.
+type jsonSeries struct {
+	Name string `json:"name"`
+	X    []any  `json:"x"`
+	Y    []any  `json:"y"`
+	YErr []any  `json:"yerr,omitempty"`
+}
+
+type jsonFigure struct {
+	XLabel string       `json:"xLabel"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON emits the series as a single JSON document for downstream
+// tooling. Validates every series first.
+func WriteJSON(w io.Writer, xLabel string, series []Series) error {
+	doc := jsonFigure{XLabel: xLabel}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		js := jsonSeries{Name: s.Name}
+		for _, v := range s.X {
+			js.X = append(js.X, jsonNumber(v))
+		}
+		for _, v := range s.Y {
+			js.Y = append(js.Y, jsonNumber(v))
+		}
+		for _, v := range s.YErr {
+			js.YErr = append(js.YErr, jsonNumber(v))
+		}
+		doc.Series = append(doc.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func jsonNumber(v float64) any {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return v
+	}
+}
+
+// WriteCSV emits the series as a wide CSV: the first column is X, one Y
+// column per series. Series are sampled at the union of X values; a
+// series without a point at some X emits an empty cell. Returns any
+// write error.
+func WriteCSV(w io.Writer, xLabel string, series []Series) error {
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	// Union of X values, in ascending order, deduplicated with tolerance.
+	var xs []float64
+	for _, s := range series {
+		xs = append(xs, s.X...)
+	}
+	xs = dedupSorted(xs)
+
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{formatFloat(x)}
+		for _, s := range series {
+			cell := ""
+			for i, xv := range s.X {
+				if math.Abs(xv-x) < 1e-12 {
+					cell = formatFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dedupSorted(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := sorted[:1]
+	for _, x := range sorted[1:] {
+		if math.Abs(x-out[len(out)-1]) > 1e-12 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func formatFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "inf"
+	}
+	if math.IsInf(x, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(x) {
+		return "nan"
+	}
+	return fmt.Sprintf("%.6g", x)
+}
+
+// WriteTable renders the series as an aligned ASCII table with the same
+// layout as WriteCSV.
+func WriteTable(w io.Writer, xLabel string, series []Series) error {
+	var sb strings.Builder
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	var xs []float64
+	for _, s := range series {
+		xs = append(xs, s.X...)
+	}
+	xs = dedupSorted(xs)
+
+	rows := [][]string{cols}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%.4g", x)}
+		for _, s := range series {
+			cell := "-"
+			for i, xv := range s.X {
+				if math.Abs(xv-x) < 1e-12 {
+					cell = fmt.Sprintf("%.4g", s.Y[i])
+					if s.YErr != nil {
+						cell += fmt.Sprintf("±%.2g", s.YErr[i])
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], cell)
+		}
+		sb.WriteString("\n")
+		if ri == 0 {
+			for _, wd := range widths {
+				sb.WriteString(strings.Repeat("-", wd) + "  ")
+			}
+			sb.WriteString("\n")
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// PlotASCII renders the series as a simple terminal line plot of the
+// given width and height in characters. Each series is drawn with its
+// own marker; axes are annotated with min/max. Non-finite points are
+// skipped.
+func PlotASCII(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			xMin, xMax = math.Min(xMin, s.X[i]), math.Max(xMax, s.X[i])
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	if !finite(xMin) || !finite(yMin) {
+		_, err := fmt.Fprintf(w, "%s: no finite data\n", title)
+		return err
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-yMin)/(yMax-yMin)*float64(height-1))
+			grid[r][c] = mk
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&sb, "  [%s]\n", strings.Join(legend, " "))
+	fmt.Fprintf(&sb, "  y: %.4g..%.4g\n", yMin, yMax)
+	for _, row := range grid {
+		fmt.Fprintf(&sb, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(&sb, "  x: %.4g..%.4g\n", xMin, xMax)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() []Series {
+	return []Series{
+		{Name: "proposed", X: []float64{0.1, 0.2}, Y: []float64{2.5, 1.0}},
+		{Name: "random", X: []float64{0.1, 0.2}, Y: []float64{3.5, 2.0}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "rate", sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if lines[0] != "rate,proposed,random" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,2.5,3.5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteCSVMissingCells(t *testing.T) {
+	series := []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{10}},
+		{Name: "b", X: []float64{2}, Y: []float64{20}},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "x", series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[1] != "1,10," || lines[2] != "2,,20" {
+		t.Errorf("rows = %q", lines[1:])
+	}
+}
+
+func TestWriteCSVSpecialValues(t *testing.T) {
+	series := []Series{{Name: "a", X: []float64{1}, Y: []float64{math.Inf(1)}}}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "x", series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "inf") {
+		t.Errorf("output %q missing inf", sb.String())
+	}
+}
+
+func TestWriteCSVRejectsInvalidSeries(t *testing.T) {
+	bad := []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "x", bad); err == nil {
+		t.Error("invalid series accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	series := sampleSeries()
+	series[0].YErr = []float64{0.1, math.Inf(1)}
+	if err := WriteJSON(&sb, "rate", series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"xLabel": "rate"`, `"proposed"`, `"random"`, `"inf"`, "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	bad := []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, "x", bad); err == nil {
+		t.Error("invalid series accepted")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var sb strings.Builder
+	series := sampleSeries()
+	series[0].YErr = []float64{0.1, 0.1}
+	if err := WriteTable(&sb, "rate", series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rate", "proposed", "random", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	var sb strings.Builder
+	if err := PlotASCII(&sb, "Fig 5", sampleSeries(), 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 5") || !strings.Contains(out, "*=proposed") {
+		t.Errorf("plot output missing pieces:\n%s", out)
+	}
+	// Must contain at least one marker of each series.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("plot missing markers:\n%s", out)
+	}
+}
+
+func TestPlotASCIIEmptyData(t *testing.T) {
+	var sb strings.Builder
+	err := PlotASCII(&sb, "empty", []Series{{Name: "a", X: []float64{math.NaN()}, Y: []float64{1}}}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no finite data") {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestPlotASCIIConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	series := []Series{{Name: "const", X: []float64{1, 2}, Y: []float64{5, 5}}}
+	if err := PlotASCII(&sb, "const", series, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestDedupSorted(t *testing.T) {
+	got := dedupSorted([]float64{3, 1, 2, 1, 3, 3})
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if dedupSorted(nil) != nil {
+		t.Error("dedup of nil should be nil")
+	}
+}

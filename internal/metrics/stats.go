@@ -1,0 +1,145 @@
+// Package metrics provides the statistics and reporting layer of the
+// benchmark harness: streaming mean/variance accumulators, percentiles,
+// confidence intervals, labeled XY series, CSV emission and quick ASCII
+// tables/plots for terminal inspection of regenerated paper figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance (Welford's method).
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a value into the accumulator. NaN and ±Inf are counted but
+// poison the moments, mirroring float semantics; callers filter first if
+// they need robustness (see AddFinite).
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddFinite folds x only if it is finite, returning whether it was added.
+func (a *Accumulator) AddFinite(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	a.Add(x)
+	return true
+}
+
+// N returns the number of accumulated values.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (0 for n < 2).
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Mean()
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.StdDev()
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks. Returns NaN for empty
+// input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Series is a labeled XY curve, one per scheme per figure.
+type Series struct {
+	// Name labels the curve (scheme name).
+	Name string
+	// X and Y are the curve samples; lengths must match.
+	X, Y []float64
+	// YErr, when non-nil, holds a per-point error bar (95% CI).
+	YErr []float64
+}
+
+// Validate checks internal consistency.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("metrics: series %q has %d X but %d Y points", s.Name, len(s.X), len(s.Y))
+	}
+	if s.YErr != nil && len(s.YErr) != len(s.Y) {
+		return fmt.Errorf("metrics: series %q has %d error bars for %d points", s.Name, len(s.YErr), len(s.Y))
+	}
+	return nil
+}
+
+// At returns the Y value at the X closest to x (NaN for empty series).
+func (s Series) At(x float64) float64 {
+	if len(s.X) == 0 {
+		return math.NaN()
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, xv := range s.X {
+		if d := math.Abs(xv - x); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return s.Y[best]
+}

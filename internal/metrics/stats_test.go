@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("zero-value accumulator not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", a.Mean())
+	}
+	// Population variance of that classic dataset is 4; sample variance
+	// is 32/7.
+	if want := 32.0 / 7; math.Abs(a.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", a.Variance(), want)
+	}
+	if a.CI95() <= 0 {
+		t.Error("CI95 should be positive for n>1")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+			a.Add(x)
+		}
+		if len(clean) == 0 {
+			return a.N() == 0
+		}
+		return math.Abs(a.Mean()-Mean(clean)) <= 1e-6*(1+math.Abs(a.Mean()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddFinite(t *testing.T) {
+	var a Accumulator
+	if a.AddFinite(math.NaN()) || a.AddFinite(math.Inf(1)) {
+		t.Error("AddFinite accepted non-finite values")
+	}
+	if !a.AddFinite(3) {
+		t.Error("AddFinite rejected a finite value")
+	}
+	if a.N() != 1 {
+		t.Errorf("N = %d, want 1", a.N())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{100, 9},
+		{50, 3.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty input should be NaN")
+	}
+	if got := Median([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Median = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestStdDevKnown(t *testing.T) {
+	if got := StdDev([]float64{1, 1, 1}); got != 0 {
+		t.Errorf("StdDev of constants = %g", got)
+	}
+	if got := StdDev([]float64{0, 2}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("StdDev = %g, want √2", got)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	ok := Series{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+	bad := Series{Name: "b", X: []float64{1}, Y: []float64{1, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	badErr := Series{Name: "c", X: []float64{1}, Y: []float64{1}, YErr: []float64{1, 2}}
+	if err := badErr.Validate(); err == nil {
+		t.Error("mismatched error bars accepted")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{X: []float64{0, 1, 2}, Y: []float64{10, 20, 30}}
+	if got := s.At(0.9); got != 20 {
+		t.Errorf("At(0.9) = %g, want 20", got)
+	}
+	if got := s.At(-5); got != 10 {
+		t.Errorf("At(-5) = %g, want 10", got)
+	}
+	if !math.IsNaN((Series{}).At(1)) {
+		t.Error("At on empty series should be NaN")
+	}
+}

@@ -1,0 +1,124 @@
+// Package sim is a minimal deterministic discrete-event simulation
+// engine: a virtual clock and a time-ordered event queue with stable
+// FIFO tie-breaking. The MAC-layer cellular simulations schedule user
+// arrivals, departures, superframe ticks and handover checks on it.
+//
+// The engine is single-threaded by design: determinism matters more
+// than parallelism for reproducing experiments, and the expensive work
+// (beam alignment) happens inside event handlers anyway.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is an event callback. It runs at its scheduled virtual time
+// and may schedule further events.
+type Handler func()
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event scheduler. The zero value is not usable;
+// construct with New.
+type Simulator struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+	// processed counts executed events.
+	processed int
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator {
+	s := &Simulator{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() int { return s.processed }
+
+// Schedule enqueues fn to run delay time units from now. A zero delay
+// runs after all currently executing and earlier-scheduled events at
+// this timestamp (FIFO). Returns an error for negative or non-finite
+// delays.
+func (s *Simulator) Schedule(delay float64, fn Handler) error {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return fmt.Errorf("sim: invalid delay %g", delay)
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at absolute virtual time t ≥ Now().
+func (s *Simulator) ScheduleAt(t float64, fn Handler) error {
+	if fn == nil {
+		return fmt.Errorf("sim: nil handler")
+	}
+	if t < s.now || math.IsNaN(t) {
+		return fmt.Errorf("sim: time %g is in the past (now %g)", t, s.now)
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// Step executes the next event, if any, advancing the clock to its
+// timestamp. Reports whether an event ran.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.time
+	s.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event lies
+// beyond horizon; the clock is left at the last executed event (or
+// advanced to horizon if that is later). Returns the number of events
+// executed by this call.
+func (s *Simulator) Run(horizon float64) int {
+	ran := 0
+	for s.queue.Len() > 0 && s.queue[0].time <= horizon {
+		s.Step()
+		ran++
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return ran
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New()
+	var order []int
+	mustSchedule(t, s, 3, func() { order = append(order, 3) })
+	mustSchedule(t, s, 1, func() { order = append(order, 1) })
+	mustSchedule(t, s, 2, func() { order = append(order, 2) })
+	if ran := s.Run(10); ran != 3 {
+		t.Fatalf("ran %d events", ran)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %g, want advanced to horizon 10", s.Now())
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulator, d float64, fn Handler) {
+	t.Helper()
+	if err := s.Schedule(d, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, s, 5, func() { order = append(order, i) })
+	}
+	s.Run(10)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestHandlersCanScheduleMore(t *testing.T) {
+	s := New()
+	count := 0
+	var tick Handler
+	tick = func() {
+		count++
+		if count < 5 {
+			if err := s.Schedule(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	mustSchedule(t, s, 1, tick)
+	s.Run(100)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Processed() != 5 {
+		t.Errorf("Processed = %d", s.Processed())
+	}
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	s := New()
+	fired := false
+	mustSchedule(t, s, 100, func() { fired = true })
+	if ran := s.Run(50); ran != 0 {
+		t.Errorf("ran %d events before horizon", ran)
+	}
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	if s.Now() != 50 {
+		t.Errorf("Now = %g", s.Now())
+	}
+	// The event still fires once the horizon extends.
+	s.Run(200)
+	if !fired {
+		t.Error("event never fired")
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue reported an event")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	s := New()
+	if err := s.Schedule(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := s.Schedule(math.NaN(), func() {}); err == nil {
+		t.Error("NaN delay accepted")
+	}
+	if err := s.Schedule(math.Inf(1), func() {}); err == nil {
+		t.Error("infinite delay accepted")
+	}
+	if err := s.Schedule(1, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	mustSchedule(t, s, 5, func() {})
+	s.Run(10)
+	if err := s.ScheduleAt(3, func() {}); err == nil {
+		t.Error("scheduling in the past accepted")
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	s := New()
+	var times []float64
+	for _, d := range []float64{5, 0.5, 2.5, 2.5, 9} {
+		mustSchedule(t, s, d, func() { times = append(times, s.Now()) })
+	}
+	s.Run(100)
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("clock went backwards: %v", times)
+		}
+	}
+}
