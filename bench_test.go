@@ -16,6 +16,7 @@ import (
 
 	"mmwalign/internal/align"
 	"mmwalign/internal/antenna"
+	"mmwalign/internal/benchsuite"
 	"mmwalign/internal/channel"
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/covest"
@@ -284,6 +285,23 @@ func BenchmarkAblationLocalRefine(b *testing.B) {
 }
 
 // --- micro-benchmarks of the hot kernels ---
+
+// BenchmarkEstimate is the canonical regression-guarded estimator
+// benchmark (shared with cmd/benchdiff via internal/benchsuite): one
+// full nuclear-norm ML covariance estimation with allocation reporting
+// and the solver's Stats counters attached as metrics. Compare against
+// BENCH_estimate.json with cmd/benchdiff.
+func BenchmarkEstimate(b *testing.B) {
+	benchsuite.BenchEstimate(b)
+}
+
+// BenchmarkEigen is the canonical regression-guarded eigendecomposition
+// benchmark (shared with cmd/benchdiff): a 64x64 Hermitian Jacobi
+// decomposition through a reused EigenWorkspace. Compare against
+// BENCH_eigen.json with cmd/benchdiff.
+func BenchmarkEigen(b *testing.B) {
+	benchsuite.BenchEigen(b)
+}
 
 // BenchmarkEigHermitian64 measures the 64×64 Hermitian Jacobi
 // eigendecomposition, the inner kernel of every covariance estimation.

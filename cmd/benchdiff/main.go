@@ -1,0 +1,244 @@
+// Command benchdiff records and compares benchmark baselines for the
+// solver hot path and the figure regenerations.
+//
+// It runs the shared workloads of internal/benchsuite in-process via
+// testing.Benchmark and persists ns/op, allocs/op, bytes/op, and every
+// fidelity metric the workload reports (loss_dB, rate_at_3dB,
+// objective, …) to BENCH_<name>.json. A later run with -compare checks
+// the current tree against those baselines and exits non-zero on any
+// speed, allocation, or fidelity regression — the CI gate that keeps
+// the hot path honest.
+//
+// Usage:
+//
+//	benchdiff -record                 # write BENCH_<name>.json for the default set
+//	benchdiff -compare                # compare current tree against the baselines
+//	benchdiff -record -bench estimate,eigen -dir .
+//	benchdiff -compare -ns-tol 0.25 -alloc-tol 0.05
+//
+// Fidelity metrics are deterministic functions of the seeded workloads,
+// so their tolerance defaults are tight; timing tolerances default
+// looser because wall-clock benchmarks are noisy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mmwalign/internal/benchsuite"
+)
+
+// Baseline is the persisted benchmark record for one workload.
+type Baseline struct {
+	Name        string             `json:"name"`
+	Desc        string             `json:"desc,omitempty"`
+	GoVersion   string             `json:"go_version,omitempty"`
+	RecordedAt  string             `json:"recorded_at,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func baselinePath(dir, name string) string {
+	return filepath.Join(dir, "BENCH_"+name+".json")
+}
+
+// defaultSet is the workload list used when -bench is not given. It
+// covers both hot-path kernels and one single-path figure of each kind;
+// the multipath figures are available by name.
+var defaultSet = []string{"estimate", "eigen", "fig5", "fig7"}
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "run the workloads and write BENCH_<name>.json baselines")
+		compare  = flag.Bool("compare", false, "run the workloads and compare against existing baselines")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		dir      = flag.String("dir", ".", "directory holding the BENCH_<name>.json files")
+		benches  = flag.String("bench", "", "comma-separated workload names (default: "+strings.Join(defaultSet, ",")+")")
+		nsTol    = flag.Float64("ns-tol", 0.25, "allowed relative ns/op regression before failing")
+		allocTol = flag.Float64("alloc-tol", 0.10, "allowed relative allocs/op regression before failing")
+		metRel   = flag.Float64("metric-rel-tol", 0.05, "allowed relative fidelity-metric drift")
+		metAbs   = flag.Float64("metric-abs-tol", 0.05, "allowed absolute fidelity-metric drift")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range benchsuite.All() {
+			fmt.Printf("%-10s %s\n", w.Name, w.Desc)
+		}
+		return
+	}
+	if *record == *compare {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -record or -compare is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	names := defaultSet
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		w, ok := benchsuite.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: unknown workload %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		cur := run(w)
+		if *record {
+			if err := writeBaseline(*dir, cur); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded %s: %.0f ns/op, %d allocs/op, %d B/op%s\n",
+				baselinePath(*dir, cur.Name), cur.NsPerOp, cur.AllocsPerOp, cur.BytesPerOp, metricString(cur.Metrics))
+			continue
+		}
+		base, err := readBaseline(*dir, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v (run -record first)\n", err)
+			failed = true
+			continue
+		}
+		if !diff(os.Stdout, base, cur, *nsTol, *allocTol, *metRel, *metAbs) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes one workload in-process and converts the result.
+func run(w benchsuite.Workload) Baseline {
+	res := testing.Benchmark(w.Func)
+	b := Baseline{
+		Name:        w.Name,
+		Desc:        w.Desc,
+		GoVersion:   runtime.Version(),
+		RecordedAt:  time.Now().UTC().Format(time.RFC3339),
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if len(res.Extra) > 0 {
+		b.Metrics = make(map[string]float64, len(res.Extra))
+		for k, v := range res.Extra {
+			b.Metrics[k] = v
+		}
+	}
+	return b
+}
+
+func writeBaseline(dir string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(baselinePath(dir, b.Name), append(data, '\n'), 0o644)
+}
+
+func readBaseline(dir, name string) (Baseline, error) {
+	data, err := os.ReadFile(baselinePath(dir, name))
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parsing %s: %w", baselinePath(dir, name), err)
+	}
+	return b, nil
+}
+
+// diff prints a comparison and reports whether the current run is within
+// tolerance of the baseline.
+func diff(out *os.File, base, cur Baseline, nsTol, allocTol, metRel, metAbs float64) bool {
+	ok := true
+	fmt.Fprintf(out, "%s:\n", base.Name)
+	nsDelta := rel(cur.NsPerOp, base.NsPerOp)
+	fmt.Fprintf(out, "  ns/op     %12.0f -> %12.0f  (%+.1f%%)%s\n",
+		base.NsPerOp, cur.NsPerOp, 100*nsDelta, verdict(nsDelta > nsTol))
+	if nsDelta > nsTol {
+		ok = false
+	}
+	allocDelta := rel(float64(cur.AllocsPerOp), float64(base.AllocsPerOp))
+	fmt.Fprintf(out, "  allocs/op %12d -> %12d  (%+.1f%%)%s\n",
+		base.AllocsPerOp, cur.AllocsPerOp, 100*allocDelta, verdict(allocDelta > allocTol))
+	if allocDelta > allocTol {
+		ok = false
+	}
+	fmt.Fprintf(out, "  B/op      %12d -> %12d  (%+.1f%%)\n",
+		base.BytesPerOp, cur.BytesPerOp, 100*rel(float64(cur.BytesPerOp), float64(base.BytesPerOp)))
+
+	keys := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bv := base.Metrics[k]
+		cv, present := cur.Metrics[k]
+		if !present {
+			fmt.Fprintf(out, "  %-9s missing in current run  FAIL\n", k)
+			ok = false
+			continue
+		}
+		drift := math.Abs(cv - bv)
+		bad := drift > metAbs && drift > metRel*math.Abs(bv)
+		fmt.Fprintf(out, "  %-9s %12.4g -> %12.4g  (drift %.3g)%s\n", k, bv, cv, drift, verdict(bad))
+		if bad {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// rel returns (cur-base)/base, guarding the zero baseline.
+func rel(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base
+}
+
+// metricString renders the fidelity metrics for -record output.
+func metricString(metrics map[string]float64) string {
+	if len(metrics) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, ", %s=%.4g", k, metrics[k])
+	}
+	return sb.String()
+}
+
+func verdict(bad bool) string {
+	if bad {
+		return "  FAIL"
+	}
+	return ""
+}

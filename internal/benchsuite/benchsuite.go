@@ -1,0 +1,211 @@
+// Package benchsuite defines the canonical benchmark workloads for the
+// solver hot path and the figure regenerations, shared between the
+// `go test -bench` entry points (bench_test.go) and the cmd/benchdiff
+// regression tool. Each workload is a self-contained testing.B function
+// that reports allocations and attaches its fidelity metrics (the
+// figure benchmarks' loss_dB / rate_at_3dB, the estimator's final
+// objective) via b.ReportMetric, so a single definition yields both
+// human-readable benchmark output and machine-comparable baselines.
+package benchsuite
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/covest"
+	"mmwalign/internal/experiment"
+	"mmwalign/internal/rng"
+)
+
+// Workload is one named benchmark: Func drives a testing.B loop,
+// reporting allocations and fidelity metrics.
+type Workload struct {
+	// Name keys the BENCH_<Name>.json baseline file.
+	Name string
+	// Desc is a one-line description for tool output.
+	Desc string
+	// Func runs the benchmark body (including fixture setup, excluded
+	// from timing via b.ResetTimer).
+	Func func(b *testing.B)
+}
+
+// All returns every registered workload, hot-path kernels first.
+func All() []Workload {
+	return []Workload{
+		{
+			Name: "estimate",
+			Desc: "one nuclear-norm ML covariance estimation (64 antennas, 56 observations)",
+			Func: BenchEstimate,
+		},
+		{
+			Name: "eigen",
+			Desc: "one 64x64 Hermitian Jacobi eigendecomposition",
+			Func: BenchEigen,
+		},
+		{
+			Name: "fig5",
+			Desc: "Fig. 5 regeneration (SNR loss vs search rate, single-path, reduced drops)",
+			Func: figureFunc(5, "loss_dB"),
+		},
+		{
+			Name: "fig6",
+			Desc: "Fig. 6 regeneration (SNR loss vs search rate, NYC multipath, reduced drops)",
+			Func: figureFunc(6, "loss_dB"),
+		},
+		{
+			Name: "fig7",
+			Desc: "Fig. 7 regeneration (required search rate vs target loss, single-path, reduced drops)",
+			Func: figureFunc(7, "rate_at_3dB"),
+		},
+		{
+			Name: "fig8",
+			Desc: "Fig. 8 regeneration (required search rate vs target loss, NYC multipath, reduced drops)",
+			Func: figureFunc(8, "rate_at_3dB"),
+		},
+	}
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// EstimateFixture builds the canonical estimator workload: a 64-antenna
+// receiver sounding 56 codebook beams against a planted rank-one
+// covariance, the per-TX-slot problem size of the proposed scheme.
+func EstimateFixture() (*covest.Estimator, []covest.Observation) {
+	src := rng.New(2)
+	rx := antenna.NewUPA(8, 8)
+	cb := antenna.NewGridCodebook(rx, 8, 8, math.Pi, math.Pi/2)
+	truth := cb.Beam(20).Weights.Outer(cb.Beam(20).Weights).Scale(64).Hermitianize()
+	obs := make([]covest.Observation, 0, 56)
+	for j := 0; j < 56; j++ {
+		v := cb.Beam(j).Weights
+		lambda := truth.QuadForm(v) + 1
+		z := src.ComplexNormal(lambda)
+		obs = append(obs, covest.Observation{V: v, Energy: real(z)*real(z) + imag(z)*imag(z)})
+	}
+	est, err := covest.NewEstimator(64, covest.Options{Gamma: 1, MaxIters: 25})
+	if err != nil {
+		panic(err) // fixture construction is deterministic; cannot fail
+	}
+	return est, obs
+}
+
+// BenchEstimate measures one full regularized ML covariance estimation,
+// the per-TX-slot cost of the proposed scheme. Reported metrics:
+// objective (final penalized NLL), iters, and eig_decomps per call.
+func BenchEstimate(b *testing.B) {
+	est, obs := EstimateFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats covest.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = est.Estimate(obs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Objective, "objective")
+	b.ReportMetric(float64(stats.Iters), "iters")
+	if stats.EigenDecomps > 0 {
+		b.ReportMetric(float64(stats.EigenDecomps), "eig_decomps")
+	}
+}
+
+// EigenFixture builds the canonical 64x64 Hermitian eigendecomposition
+// input.
+func EigenFixture() *cmat.Matrix {
+	src := rng.New(1)
+	m := cmat.New(64, 64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			m.Set(i, j, src.ComplexNormal(1))
+		}
+	}
+	return m.Hermitianize()
+}
+
+// BenchEigen measures the 64x64 Hermitian Jacobi eigendecomposition,
+// the inner kernel of every covariance estimation. Reports the top
+// eigenvalue as its fidelity metric.
+func BenchEigen(b *testing.B) {
+	h := EigenFixture()
+	ws := cmat.NewEigenWorkspace(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		e, err := ws.EigHermitian(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = e.Values[0]
+	}
+	b.ReportMetric(top, "top_eig")
+}
+
+// FigureConfig is the reduced-size figure configuration used by the
+// figure benchmarks: the paper's arrays and codebooks with fewer drops.
+func FigureConfig(figure int) experiment.Config {
+	return experiment.Config{
+		Seed:      1,
+		Drops:     4,
+		Multipath: figure == 6 || figure == 8,
+	}
+}
+
+// FigureMetric extracts the proposed scheme's value at the last sweep
+// point of a figure — the fidelity number guarded by benchdiff and the
+// smoke test.
+func FigureMetric(fig experiment.Figure) (float64, bool) {
+	for _, s := range fig.Series {
+		if s.Name == "proposed" && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1], true
+		}
+	}
+	return 0, false
+}
+
+// RunFigure regenerates the given paper figure on the reduced benchmark
+// configuration and returns its fidelity metric.
+func RunFigure(figure int) (float64, error) {
+	fig, err := experiment.Generate(figure, FigureConfig(figure))
+	if err != nil {
+		return 0, err
+	}
+	m, ok := FigureMetric(fig)
+	if !ok {
+		return 0, errNoProposedSeries
+	}
+	return m, nil
+}
+
+type figureError string
+
+func (e figureError) Error() string { return string(e) }
+
+const errNoProposedSeries = figureError("benchsuite: figure has no proposed series")
+
+func figureFunc(figure int, metric string) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var m float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			m, err = RunFigure(figure)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(m, metric)
+	}
+}

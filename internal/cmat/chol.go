@@ -88,19 +88,31 @@ func ProjectPSD(a *Matrix) (*Matrix, error) {
 // and clamped at zero. For PSD-constrained nuclear-norm problems this is
 // the exact prox (eigenvalues play the role of singular values).
 func EigenSoftThresholdPSD(a *Matrix, tau float64) (*Matrix, error) {
-	e, err := EigHermitian(a)
+	out := New(a.Rows(), a.Cols())
+	if err := EigenSoftThresholdPSDInto(NewEigenWorkspace(a.Rows()), out, a, tau); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EigenSoftThresholdPSDInto is the allocation-free variant of
+// EigenSoftThresholdPSD: the eigendecomposition runs in ews and the
+// thresholded reconstruction overwrites dst. dst may alias a (the
+// decomposition copies a into workspace storage first) but must not
+// alias ews buffers. Identical numerics to EigenSoftThresholdPSD.
+func EigenSoftThresholdPSDInto(ews *EigenWorkspace, dst, a *Matrix, tau float64) error {
+	e, err := ews.EigHermitian(a)
 	if err != nil {
-		return nil, fmt.Errorf("eigen soft-threshold: %w", err)
+		return fmt.Errorf("eigen soft-threshold: %w", err)
 	}
 	n := a.Rows()
-	out := New(n, n)
+	dst.Zero()
 	for j := 0; j < n; j++ {
 		lambda := e.Values[j] - tau
 		if lambda <= 0 {
 			continue
 		}
-		v := e.Vectors.Col(j)
-		out.AddInPlace(complex(lambda, 0), v.Outer(v))
+		dst.AddScaledOuterCol(complex(lambda, 0), e.Vectors, j)
 	}
-	return out, nil
+	return nil
 }

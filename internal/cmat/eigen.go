@@ -29,18 +29,72 @@ const maxJacobiSweeps = 64
 // matrix a using the cyclic complex Jacobi method. Only the Hermitian
 // part of a is used (the input is symmetrized first, which also absorbs
 // small rounding asymmetries). Panics if a is not square.
+//
+// The returned Eigen owns freshly allocated storage. Callers that
+// decompose matrices of the same size repeatedly should reuse an
+// EigenWorkspace instead.
 func EigHermitian(a *Matrix) (Eigen, error) {
+	return NewEigenWorkspace(a.Rows()).EigHermitian(a)
+}
+
+// EigenWorkspace holds the scratch buffers of a Hermitian Jacobi
+// eigendecomposition so repeated decompositions of same-sized matrices
+// allocate nothing. It is the allocation-free substrate of the covest
+// proximal solver, whose every iteration runs one decomposition.
+//
+// A workspace is not safe for concurrent use, and the Eigen returned by
+// its EigHermitian method aliases workspace storage: it is overwritten
+// by the next call. Callers that need the results to outlive the next
+// decomposition must copy them out.
+type EigenWorkspace struct {
+	n          int
+	w          *Matrix // working copy, reduced to diagonal by rotations
+	v          *Matrix // accumulated eigenvectors (unsorted)
+	vals       []float64
+	idx        []int
+	sortedVals []float64
+	sortedVecs *Matrix
+}
+
+// NewEigenWorkspace returns a workspace pre-sized for n×n inputs. The
+// workspace transparently resizes if handed a different dimension.
+func NewEigenWorkspace(n int) *EigenWorkspace {
+	ws := &EigenWorkspace{}
+	ws.resize(n)
+	return ws
+}
+
+func (ws *EigenWorkspace) resize(n int) {
+	ws.n = n
+	ws.w = New(n, n)
+	ws.v = New(n, n)
+	ws.vals = make([]float64, n)
+	ws.idx = make([]int, n)
+	ws.sortedVals = make([]float64, n)
+	ws.sortedVecs = New(n, n)
+}
+
+// EigHermitian computes the full eigendecomposition of the Hermitian
+// matrix a into the workspace buffers. Identical numerics to the
+// package-level EigHermitian; the returned Eigen aliases workspace
+// storage and is invalidated by the next call. Panics if a is not
+// square.
+func (ws *EigenWorkspace) EigHermitian(a *Matrix) (Eigen, error) {
 	a.checkSquare()
 	n := a.Rows()
-	w := a.Hermitianize()
-	v := Identity(n)
+	if n != ws.n {
+		ws.resize(n)
+	}
+	w, v := ws.w, ws.v
+	w.HermitianizeFrom(a)
+	v.SetIdentity()
 
 	if n <= 1 {
-		vals := make([]float64, n)
 		if n == 1 {
-			vals[0] = real(w.At(0, 0))
+			ws.sortedVals[0] = real(w.At(0, 0))
 		}
-		return Eigen{Values: vals, Vectors: v}, nil
+		copyMatrix(ws.sortedVecs, v)
+		return Eigen{Values: ws.sortedVals, Vectors: ws.sortedVecs}, nil
 	}
 
 	// tol scales with the magnitude of the matrix so near-zero inputs
@@ -65,25 +119,28 @@ func EigHermitian(a *Matrix) (Eigen, error) {
 		return Eigen{}, fmt.Errorf("hermitian eigendecomposition (n=%d): %w", n, ErrNoConvergence)
 	}
 
-	vals := make([]float64, n)
+	vals := ws.vals
 	for i := 0; i < n; i++ {
 		vals[i] = real(w.At(i, i))
 	}
 	// Sort eigenpairs descending by eigenvalue.
-	idx := make([]int, n)
+	idx := ws.idx
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
-	sortedVals := make([]float64, n)
-	sortedVecs := New(n, n)
+	sortedVals, sortedVecs := ws.sortedVals, ws.sortedVecs
 	for newCol, oldCol := range idx {
 		sortedVals[newCol] = vals[oldCol]
 		for r := 0; r < n; r++ {
-			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+			sortedVecs.data[r*n+newCol] = v.data[r*n+oldCol]
 		}
 	}
 	return Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
+}
+
+func copyMatrix(dst, src *Matrix) {
+	copy(dst.data, src.data)
 }
 
 // jacobiRotate applies one complex Jacobi rotation annihilating the (p,q)
@@ -124,29 +181,45 @@ func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
 	// dominates the cost of every covariance estimation.
 	wd, vd := w.data, v.data
 
-	// w ← w·W: update columns p and q.
-	for k := 0; k < n; k++ {
-		row := wd[k*n : k*n+n : k*n+n]
-		wkp, wkq := row[p], row[q]
-		row[p] = cc*wkp - sPhaseConj*wkq
-		row[q] = ss*wkp + cPhaseConj*wkq
-	}
-	// w ← Wᴴ·w: update rows p and q (conjugated coefficients).
+	// w ← Wᴴ·w·W. The working matrix is exactly Hermitian throughout
+	// (the initial symmetrization pairs entries bitwise and every
+	// rotation preserves the pairing), so the updated columns p and q
+	// are entrywise conjugates of the updated rows: compute the rows
+	// once and mirror them, instead of running the column update as a
+	// second full pass. conj(a·b) = conj(a)·conj(b) holds bitwise for
+	// IEEE complex arithmetic, so this produces the same values as the
+	// two-pass w·W then Wᴴ·w update it replaces.
 	sPhase := ss * phase
 	cPhase := cc * phase
 	rowP := wd[p*n : p*n+n : p*n+n]
 	rowQ := wd[q*n : q*n+n : q*n+n]
+	// Save the 2x2 pivot block before the row pass overwrites it.
+	wpp, wpq := rowP[p], rowP[q]
+	wqp, wqq := rowQ[p], rowQ[q]
 	for k := 0; k < n; k++ {
+		if k == p || k == q {
+			continue
+		}
 		wpk, wqk := rowP[k], rowQ[k]
-		rowP[k] = cc*wpk - sPhase*wqk
-		rowQ[k] = ss*wpk + cPhase*wqk
+		bpk := cc*wpk - sPhase*wqk
+		bqk := ss*wpk + cPhase*wqk
+		rowP[k] = bpk
+		rowQ[k] = bqk
+		wd[k*n+p] = cmplx.Conj(bpk)
+		wd[k*n+q] = cmplx.Conj(bqk)
 	}
+	// 2x2 pivot block: replicate the two-pass arithmetic exactly
+	// ((w·W) restricted to the block, then Wᴴ·(w·W)).
+	app2 := cc*wpp - sPhaseConj*wpq
+	aqp2 := cc*wqp - sPhaseConj*wqq
+	apq2 := ss*wpp + cPhaseConj*wpq
+	aqq2 := ss*wqp + cPhaseConj*wqq
 	// Clean the annihilated pair and enforce real diagonal to stop
 	// rounding drift from accumulating over sweeps.
+	rowP[p] = complex(real(cc*app2-sPhase*aqp2), 0)
+	rowQ[q] = complex(real(ss*apq2+cPhase*aqq2), 0)
 	rowP[q] = 0
 	rowQ[p] = 0
-	rowP[p] = complex(real(rowP[p]), 0)
-	rowQ[q] = complex(real(rowQ[q]), 0)
 
 	// v ← v·W accumulates eigenvectors.
 	for k := 0; k < n; k++ {

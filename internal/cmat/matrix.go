@@ -114,6 +114,53 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyFrom overwrites m with the contents of b. Panics on shape
+// mismatch. The allocation-free counterpart of b.Clone().
+func (m *Matrix) CopyFrom(b *Matrix) {
+	m.checkSameShape(b)
+	copy(m.data, b.data)
+}
+
+// Zero sets every entry of m to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// SetIdentity overwrites the square matrix m with the identity in
+// place. Panics if m is not square.
+func (m *Matrix) SetIdentity() {
+	m.checkSquare()
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
+// SubInto overwrites m with a - b. Panics on shape mismatch. m may
+// alias a or b.
+func (m *Matrix) SubInto(a, b *Matrix) {
+	m.checkSameShape(a)
+	m.checkSameShape(b)
+	for i := range m.data {
+		m.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// AddScaledInto overwrites m with a + alpha*b. Panics on shape
+// mismatch. m may alias a or b. The allocation-free counterpart of
+// a.Clone() followed by AddInPlace(alpha, b).
+func (m *Matrix) AddScaledInto(a *Matrix, alpha complex128, b *Matrix) {
+	m.checkSameShape(a)
+	m.checkSameShape(b)
+	for i := range m.data {
+		m.data[i] = a.data[i] + alpha*b.data[i]
+	}
+}
+
 // Add returns m + b. Panics on shape mismatch.
 func (m *Matrix) Add(b *Matrix) *Matrix {
 	m.checkSameShape(b)
@@ -151,6 +198,55 @@ func (m *Matrix) AddInPlace(a complex128, b *Matrix) {
 	}
 }
 
+// AddScaledOuter adds alpha·v·vᴴ to the square matrix m in place.
+// Panics on shape mismatch. The allocation-free counterpart of
+// AddInPlace(alpha, v.Outer(v)).
+func (m *Matrix) AddScaledOuter(alpha complex128, v Vector) {
+	if m.rows != m.cols || m.rows != len(v) {
+		panic(fmt.Sprintf("cmat: AddScaledOuter shape mismatch %dx%d with vector %d", m.rows, m.cols, len(v)))
+	}
+	n := m.rows
+	for i := 0; i < n; i++ {
+		vi := v[i]
+		row := m.data[i*n : i*n+n : i*n+n]
+		for j := 0; j < n; j++ {
+			row[j] += alpha * (vi * cmplx.Conj(v[j]))
+		}
+	}
+}
+
+// AddScaledOuterCol adds alpha·c·cᴴ to m in place, where c is column
+// col of vm — the same update as AddScaledOuter(alpha, vm.Col(col))
+// without materializing the column.
+func (m *Matrix) AddScaledOuterCol(alpha complex128, vm *Matrix, col int) {
+	if m.rows != m.cols || m.rows != vm.rows {
+		panic(fmt.Sprintf("cmat: AddScaledOuterCol shape mismatch %dx%d with %dx%d column", m.rows, m.cols, vm.rows, vm.cols))
+	}
+	vm.checkIndex(0, col)
+	n := m.rows
+	for i := 0; i < n; i++ {
+		vi := vm.data[i*vm.cols+col]
+		row := m.data[i*n : i*n+n : i*n+n]
+		for j := 0; j < n; j++ {
+			row[j] += alpha * (vi * cmplx.Conj(vm.data[j*vm.cols+col]))
+		}
+	}
+}
+
+// SetOuter overwrites m with the rank-one matrix v·wᴴ. Panics on shape
+// mismatch. The allocation-free counterpart of v.Outer(w).
+func (m *Matrix) SetOuter(v, w Vector) {
+	if m.rows != len(v) || m.cols != len(w) {
+		panic(fmt.Sprintf("cmat: SetOuter shape mismatch %dx%d with vectors %d, %d", m.rows, m.cols, len(v), len(w)))
+	}
+	for i := range v {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range w {
+			row[j] = v[i] * cmplx.Conj(w[j])
+		}
+	}
+}
+
 // Mul returns the matrix product m·b. Panics if m.Cols() != b.Rows().
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.cols != b.rows {
@@ -175,19 +271,25 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns m·v. Panics if m.Cols() != len(v).
 func (m *Matrix) MulVec(v Vector) Vector {
-	if m.cols != len(v) {
-		panic(fmt.Sprintf("cmat: MulVec shape mismatch %dx%d · %d", m.rows, m.cols, len(v)))
-	}
 	out := make(Vector, m.rows)
+	m.MulVecInto(out, v)
+	return out
+}
+
+// MulVecInto writes m·v into dst. Panics on shape mismatch. dst must
+// not alias v.
+func (m *Matrix) MulVecInto(dst, v Vector) {
+	if m.cols != len(v) || m.rows != len(dst) {
+		panic(fmt.Sprintf("cmat: MulVecInto shape mismatch %dx%d · %d -> %d", m.rows, m.cols, len(v), len(dst)))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s complex128
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // ConjTranspose returns the Hermitian transpose mᴴ.
@@ -287,6 +389,39 @@ func (m *Matrix) Hermitianize() *Matrix {
 	return out
 }
 
+// HermitianizeInPlace replaces m with (m + mᴴ)/2 in place, producing
+// entries bitwise identical to Hermitianize. Panics if m is not square.
+func (m *Matrix) HermitianizeInPlace() {
+	m.checkSquare()
+	n := m.rows
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = (m.data[i*n+i] + cmplx.Conj(m.data[i*n+i])) / 2
+		for j := i + 1; j < n; j++ {
+			h := (m.data[i*n+j] + cmplx.Conj(m.data[j*n+i])) / 2
+			m.data[i*n+j] = h
+			m.data[j*n+i] = cmplx.Conj(h)
+		}
+	}
+}
+
+// HermitianizeFrom overwrites m with (a + aᴴ)/2, the allocation-free
+// counterpart of a.Hermitianize(). m may alias a. Panics on shape
+// mismatch or if a is not square.
+func (m *Matrix) HermitianizeFrom(a *Matrix) {
+	a.checkSquare()
+	m.checkSameShape(a)
+	if m == a {
+		m.HermitianizeInPlace()
+		return
+	}
+	n := m.rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.data[i*n+j] = (a.data[i*n+j] + cmplx.Conj(a.data[j*n+i])) / 2
+		}
+	}
+}
+
 // QuadForm returns the real part of vᴴ·m·v. For Hermitian m the quadratic
 // form is exactly real; the imaginary residue from rounding is discarded.
 // Panics on shape mismatch.
@@ -314,6 +449,21 @@ func (m *Matrix) ApproxEqual(b *Matrix, tol float64) bool {
 	}
 	for i := range m.data {
 		if cmplx.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether m and b share a shape and agree entrywise
+// bitwise (exact float equality; NaN entries compare unequal). It is
+// the check used by determinism tests, where "close" is not enough.
+func (m *Matrix) Equal(b *Matrix) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != b.data[i] {
 			return false
 		}
 	}

@@ -83,6 +83,22 @@ func (v Vector) Normalize() Vector {
 	return v.Scale(complex(1/n, 0))
 }
 
+// AddScaledInPlace adds alpha*w to v in place. Panics if lengths
+// differ. The allocation-free counterpart of v.Add(w.Scale(alpha)).
+func (v Vector) AddScaledInPlace(alpha complex128, w Vector) {
+	checkSameLen(v, w)
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Zero sets every entry of v to zero in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 // Conj returns the element-wise complex conjugate of v.
 func (v Vector) Conj() Vector {
 	out := make(Vector, len(v))

@@ -109,7 +109,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats reports how an estimation run went.
+// Stats reports how an estimation run went. The counters make the
+// solver's cost observable: a benchmark that reports them alongside
+// wall-clock time can tell an algorithmic speedup (fewer
+// eigendecompositions) from a mechanical one (same work, less
+// allocation).
 type Stats struct {
 	// Iters is the number of proximal steps taken.
 	Iters int
@@ -120,13 +124,124 @@ type Stats struct {
 	SubspaceDim int
 	// Rank is the rank of the returned estimate.
 	Rank int
+	// EigenDecomps counts the Hermitian eigendecompositions the solver
+	// ran: one per proximal step (including rejected backtracking
+	// trials) plus one to lift the reduced estimate.
+	EigenDecomps int
+	// ObjectiveEvals counts evaluations of the penalized negative
+	// log-likelihood.
+	ObjectiveEvals int
+	// GradientEvals counts gradient evaluations.
+	GradientEvals int
+	// Backtracks counts rejected backtracking line-search trials; each
+	// one costs a full eigendecomposition.
+	Backtracks int
 }
 
 // Estimator estimates the N×N receive spatial covariance from energy
 // observations.
+//
+// An Estimator owns reusable solver workspaces, so repeated Estimate
+// calls (the per-TX-slot cadence of the proposed scheme) allocate only
+// for the returned matrix once the subspace dimension stabilizes. The
+// workspace makes an Estimator NOT safe for concurrent use; create one
+// estimator per goroutine.
 type Estimator struct {
 	n    int
 	opts Options
+	wk   *solverWork
+}
+
+// solverWork holds the reusable buffers of the proximal solver so
+// steady-state iterations allocate nothing. Matrices are sized for the
+// current working dimension and reallocated only when it changes (the
+// measurement subspace grows over early TX slots, then stabilizes at
+// min(J·slots, N)).
+type solverWork struct {
+	dim     int
+	eig     *cmat.EigenWorkspace
+	grad    *cmat.Matrix // gradient accumulator
+	scratch *cmat.Matrix // prox pre-threshold point: base − step·grad
+	cur     *cmat.Matrix // ISTA iterate / FISTA x
+	nxt     *cmat.Matrix // candidate produced by the prox
+	extr    *cmat.Matrix // FISTA extrapolation point y
+	best    *cmat.Matrix // FISTA best-seen iterate
+	diff    *cmat.Matrix // FISTA momentum difference next − x
+	liftCol cmat.Vector  // ambient-dimension column buffer for the lift
+	mulBuf  cmat.Vector  // ambient-dimension buffer for warm-start projection
+	vs      []cmat.Vector  // reduced beams, reused across calls
+	energies []float64     // observation energies, reused across calls
+	outers  []*cmat.Matrix // cached v_j·v_jᴴ rank-one terms, reused across calls
+}
+
+// work returns the estimator's workspace sized for the given working
+// dimension, reallocating the dimension-dependent buffers on change.
+func (e *Estimator) work(dim int) *solverWork {
+	if e.wk == nil {
+		e.wk = &solverWork{
+			eig:     cmat.NewEigenWorkspace(dim),
+			liftCol: cmat.NewVector(e.n),
+			mulBuf:  cmat.NewVector(e.n),
+		}
+	}
+	wk := e.wk
+	if wk.dim != dim {
+		wk.dim = dim
+		wk.grad = cmat.New(dim, dim)
+		wk.scratch = cmat.New(dim, dim)
+		wk.cur = cmat.New(dim, dim)
+		wk.nxt = cmat.New(dim, dim)
+		wk.extr = cmat.New(dim, dim)
+		wk.best = cmat.New(dim, dim)
+		wk.diff = cmat.New(dim, dim)
+		wk.vs = nil
+		wk.outers = nil
+	}
+	return wk
+}
+
+// vsFor returns count reduced-beam buffers of length dim, reusing prior
+// allocations where the shapes still match.
+func (wk *solverWork) vsFor(count int) []cmat.Vector {
+	if cap(wk.vs) < count {
+		grown := make([]cmat.Vector, count)
+		copy(grown, wk.vs)
+		wk.vs = grown
+	}
+	wk.vs = wk.vs[:count]
+	for j := range wk.vs {
+		if len(wk.vs[j]) != wk.dim {
+			wk.vs[j] = cmat.NewVector(wk.dim)
+		}
+	}
+	return wk.vs
+}
+
+// energiesFor returns a float buffer of the given length.
+func (wk *solverWork) energiesFor(count int) []float64 {
+	if cap(wk.energies) < count {
+		wk.energies = make([]float64, count)
+	}
+	wk.energies = wk.energies[:count]
+	return wk.energies
+}
+
+// outersFor returns the cached rank-one terms v_j·v_jᴴ for the given
+// reduced beams, reusing matrix storage across Estimate calls.
+func (wk *solverWork) outersFor(vs []cmat.Vector) []*cmat.Matrix {
+	if cap(wk.outers) < len(vs) {
+		grown := make([]*cmat.Matrix, len(vs))
+		copy(grown, wk.outers[:cap(wk.outers)])
+		wk.outers = grown
+	}
+	wk.outers = wk.outers[:len(vs)]
+	for j, v := range vs {
+		if wk.outers[j] == nil || wk.outers[j].Rows() != len(v) {
+			wk.outers[j] = cmat.New(len(v), len(v))
+		}
+		wk.outers[j].SetOuter(v, v)
+	}
+	return wk.outers
 }
 
 // NewEstimator creates an estimator for an N-antenna receiver. Returns
@@ -173,7 +288,9 @@ func (e *Estimator) Estimate(obs []Observation, warm *cmat.Matrix) (*cmat.Matrix
 }
 
 // orthonormalBasis builds an orthonormal basis of span{v_j} by modified
-// Gram-Schmidt, capped at the ambient dimension n.
+// Gram-Schmidt, capped at the ambient dimension n. The projections run
+// in place on a single scratch vector per beam; entry values are
+// identical to the out-of-place v.Sub(b.Scale(b.Dot(v))) form.
 func orthonormalBasis(obs []Observation, n int) []cmat.Vector {
 	var basis []cmat.Vector
 	for _, o := range obs {
@@ -183,7 +300,7 @@ func orthonormalBasis(obs []Observation, n int) []cmat.Vector {
 		v := o.V.Clone()
 		for pass := 0; pass < 2; pass++ {
 			for _, b := range basis {
-				v = v.Sub(b.Scale(b.Dot(v)))
+				v.AddScaledInPlace(-b.Dot(v), b)
 			}
 		}
 		if v.Norm() > 1e-9 {
@@ -194,96 +311,158 @@ func orthonormalBasis(obs []Observation, n int) []cmat.Vector {
 }
 
 // solve runs the proximal gradient loop, optionally in the subspace
-// spanned by basis (basis == nil means full space).
+// spanned by basis (basis == nil means full space). All loop state
+// lives in the estimator's reusable workspace; only the returned
+// estimate is freshly allocated.
 func (e *Estimator) solve(obs []Observation, warm *cmat.Matrix, basis []cmat.Vector) (*cmat.Matrix, Stats, error) {
 	reduced := basis != nil
 	dim := e.n
 	if reduced {
 		dim = len(basis)
 	}
+	wk := e.work(dim)
 
 	// Reduce beams: ṽ_j = Bᴴ v_j (exact since v_j ∈ span B).
-	vs := make([]cmat.Vector, len(obs))
-	ws := make([]float64, len(obs))
-	for j, o := range obs {
-		ws[j] = o.Energy
-		if reduced {
-			r := make(cmat.Vector, dim)
+	var vs []cmat.Vector
+	ws := wk.energiesFor(len(obs))
+	if reduced {
+		vs = wk.vsFor(len(obs))
+		for j, o := range obs {
+			ws[j] = o.Energy
 			for i, b := range basis {
-				r[i] = b.Dot(o.V)
+				vs[j][i] = b.Dot(o.V)
 			}
-			vs[j] = r
-		} else {
-			vs[j] = o.V
+		}
+	} else {
+		vs = wk.vsFor(len(obs))
+		for j, o := range obs {
+			ws[j] = o.Energy
+			copy(vs[j], o.V)
 		}
 	}
 
 	// Precompute the rank-one terms v_j·v_jᴴ once: they are reused by
 	// every gradient evaluation.
-	outers := make([]*cmat.Matrix, len(vs))
-	for j, v := range vs {
-		outers[j] = v.Outer(v)
-	}
+	outers := wk.outersFor(vs)
 
-	q := e.initial(vs, ws, warm, basis, dim)
+	e.initialInto(wk.cur, vs, ws, warm, basis, dim, wk)
 	stats := Stats{SubspaceDim: dim}
+	var q *cmat.Matrix
 	var obj float64
 	var err error
 	if e.opts.Accelerated {
-		q, obj, err = e.fistaLoop(q, vs, ws, outers, &stats)
+		q, obj, err = e.fistaLoop(wk, vs, ws, outers, &stats)
 	} else {
-		q, obj, err = e.istaLoop(q, vs, ws, outers, &stats)
+		q, obj, err = e.istaLoop(wk, vs, ws, outers, &stats)
 	}
 	if err != nil {
 		return nil, stats, err
 	}
 
 	stats.Objective = obj
+	// The final eigendecomposition serves double duty: it lifts the
+	// reduced estimate back to the ambient space (Q = B·Q̃·Bᴴ) and its
+	// eigenvalues give the rank directly — the lift preserves the
+	// spectrum because B is orthonormal, so no second decomposition of
+	// the full-size matrix is needed.
+	stats.EigenDecomps++
+	eig, err := wk.eig.EigHermitian(q)
+	if err != nil {
+		return nil, stats, fmt.Errorf("covest: decomposing estimate: %w", err)
+	}
 	full := q
 	if reduced {
-		// Lift back: Q = B·Q̃·Bᴴ.
 		full = cmat.New(e.n, e.n)
-		eig, err := cmat.EigHermitian(q)
-		if err != nil {
-			return nil, stats, fmt.Errorf("covest: lifting estimate: %w", err)
-		}
+		col := wk.liftCol
 		for k := 0; k < dim; k++ {
 			if eig.Values[k] <= 0 {
 				continue
 			}
 			// Column k of B·V_eig.
-			col := cmat.NewVector(e.n)
+			col.Zero()
 			for i, b := range basis {
-				col = col.Add(b.Scale(eig.Vectors.At(i, k)))
+				col.AddScaledInPlace(eig.Vectors.At(i, k), b)
 			}
-			full.AddInPlace(complex(eig.Values[k], 0), col.Outer(col))
+			full.AddScaledOuter(complex(eig.Values[k], 0), col)
 		}
+		// The lifted spectrum is the positive part of Q̃'s spectrum.
+		stats.Rank = rankOfPSDSpectrum(eig.Values, 1e-8)
+	} else {
+		stats.Rank = rankOfSpectrum(eig.Values, 1e-8)
 	}
-	rank, err := cmat.Rank(full, 1e-8)
-	if err != nil {
-		return nil, stats, fmt.Errorf("covest: rank of estimate: %w", err)
-	}
-	stats.Rank = rank
 	return full.Hermitianize(), stats, nil
 }
 
+// rankOfPSDSpectrum counts eigenvalues above tol·λ_max among the
+// positive ones — the rank of Σ_{λ>0} λ·v·vᴴ.
+func rankOfPSDSpectrum(vals []float64, tol float64) int {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	cut := tol * max
+	n := 0
+	for _, v := range vals {
+		if v > cut {
+			n++
+		}
+	}
+	return n
+}
+
+// rankOfSpectrum counts eigenvalues with |λ| above tol·|λ|_max, the
+// numerical rank of a Hermitian matrix from its spectrum.
+func rankOfSpectrum(vals []float64, tol float64) int {
+	var max float64
+	for _, v := range vals {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	cut := tol * max
+	n := 0
+	for _, v := range vals {
+		if math.Abs(v) > cut {
+			n++
+		}
+	}
+	return n
+}
+
 // istaLoop runs monotone proximal gradient descent (ISTA) with
-// backtracking line search. Returns the final iterate and objective.
-func (e *Estimator) istaLoop(q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+// backtracking line search on the iterate preloaded in wk.cur. Returns
+// the final iterate (a workspace buffer) and objective. Steady-state
+// iterations allocate nothing: the gradient, the prox scratch, and the
+// candidate all live in the workspace, and accepted candidates are
+// adopted by pointer swap.
+func (e *Estimator) istaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+	q := wk.cur
 	obj := e.objective(q, vs, ws)
+	stats.ObjectiveEvals++
 	step := e.opts.InitStep
 	for it := 0; it < e.opts.MaxIters; it++ {
-		grad := e.gradient(q, vs, ws, outers)
+		e.gradientInto(wk.grad, q, vs, ws, outers)
+		stats.GradientEvals++
 		improved := false
 		for try := 0; try < 30; try++ {
-			next, err := e.proxStep(q, grad, step)
-			if err != nil {
+			if err := e.proxStepInto(wk, q, step, stats); err != nil {
 				return nil, 0, err
 			}
-			nextObj := e.objective(next, vs, ws)
+			nextObj := e.objective(wk.nxt, vs, ws)
+			stats.ObjectiveEvals++
 			if nextObj <= obj {
 				rel := (obj - nextObj) / (math.Abs(obj) + 1)
-				q, obj = next, nextObj
+				q, wk.nxt = wk.nxt, q
+				wk.cur = q // keep cur/nxt distinct for the next call
+				obj = nextObj
 				stats.Iters = it + 1
 				improved = true
 				step *= 1.2
@@ -292,6 +471,7 @@ func (e *Estimator) istaLoop(q *cmat.Matrix, vs []cmat.Vector, ws []float64, out
 				}
 				break
 			}
+			stats.Backtracks++
 			step /= 2
 			if step < 1e-12 {
 				break
@@ -309,32 +489,42 @@ func (e *Estimator) istaLoop(q *cmat.Matrix, vs []cmat.Vector, ws []float64, out
 // the momentum is reset, which recovers monotone behaviour on the
 // non-convex part of the likelihood while keeping the acceleration on
 // well-behaved stretches.
-func (e *Estimator) fistaLoop(q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
-	x := q
-	y := q.Clone()
+func (e *Estimator) fistaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+	x := wk.cur
+	y := wk.extr
+	y.CopyFrom(x)
 	obj := e.objective(x, vs, ws)
-	bestQ, bestObj := x, obj
+	stats.ObjectiveEvals++
+	best := wk.best
+	best.CopyFrom(x)
+	bestObj := obj
 	step := e.opts.InitStep
 	tMom := 1.0
 
 	for it := 0; it < e.opts.MaxIters; it++ {
-		grad := e.gradient(y, vs, ws, outers)
-		var next *cmat.Matrix
+		e.gradientInto(wk.grad, y, vs, ws, outers)
+		stats.GradientEvals++
+		// The extrapolated point y is fixed for the whole backtracking
+		// search, so its objective is loop-invariant: evaluate it once
+		// per outer iteration, not once per trial.
+		objY := e.objective(y, vs, ws)
+		stats.ObjectiveEvals++
 		var nextObj float64
 		accepted := false
 		for try := 0; try < 30; try++ {
-			cand, err := e.proxStep(y, grad, step)
-			if err != nil {
+			if err := e.proxStepInto(wk, y, step, stats); err != nil {
 				return nil, 0, err
 			}
-			candObj := e.objective(cand, vs, ws)
+			candObj := e.objective(wk.nxt, vs, ws)
+			stats.ObjectiveEvals++
 			// Backtracking acceptance: sufficient decrease relative to
 			// the extrapolated point's majorizer.
-			if candObj <= e.objective(y, vs, ws)+1e-12 || candObj <= obj {
-				next, nextObj = cand, candObj
+			if candObj <= objY+1e-12 || candObj <= obj {
+				nextObj = candObj
 				accepted = true
 				break
 			}
+			stats.Backtracks++
 			step /= 2
 			if step < 1e-12 {
 				break
@@ -349,63 +539,77 @@ func (e *Estimator) fistaLoop(q *cmat.Matrix, vs []cmat.Vector, ws []float64, ou
 			// Adaptive restart: kill the momentum and retry from the
 			// best point seen.
 			tMom = 1
-			y = bestQ.Clone()
-			x, obj = bestQ, bestObj
+			y.CopyFrom(best)
+			x.CopyFrom(best)
+			obj = bestObj
 			continue
 		}
 		rel := (obj - nextObj) / (math.Abs(obj) + 1)
 		tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
 		momentum := complex((tMom-1)/tNext, 0)
-		y = next.Clone()
-		y.AddInPlace(momentum, next.Sub(x))
-		x, obj, tMom = next, nextObj, tNext
+		// y = next + momentum·(next − x), then adopt the candidate as
+		// the new iterate by pointer swap (its old storage becomes the
+		// next prox target).
+		wk.diff.SubInto(wk.nxt, x)
+		y.AddScaledInto(wk.nxt, momentum, wk.diff)
+		x, wk.nxt = wk.nxt, x
+		wk.cur = x // keep cur/nxt distinct for the next call
+		obj, tMom = nextObj, tNext
 		if obj < bestObj {
-			bestQ, bestObj = x, obj
+			best.CopyFrom(x)
+			bestObj = obj
 		}
 		if rel < e.opts.Tol {
 			break
 		}
 	}
-	return bestQ, bestObj, nil
+	return best, bestObj, nil
 }
 
-// proxStep applies one proximal gradient step from base with the given
-// step size: prox_{step·µ‖·‖_*,⪰0}(base − step·grad).
-func (e *Estimator) proxStep(base, grad *cmat.Matrix, step float64) (*cmat.Matrix, error) {
-	cand := base.Clone()
-	cand.AddInPlace(complex(-step, 0), grad)
-	next, err := cmat.EigenSoftThresholdPSD(cand.Hermitianize(), step*e.opts.Mu)
-	if err != nil {
-		return nil, fmt.Errorf("covest: prox step: %w", err)
+// proxStepInto applies one proximal gradient step from base with the
+// given step size, prox_{step·µ‖·‖_*,⪰0}(base − step·wk.grad), writing
+// the candidate into wk.nxt. The pre-threshold point lives in
+// wk.scratch and the eigendecomposition runs in the shared workspace,
+// so the step allocates nothing.
+func (e *Estimator) proxStepInto(wk *solverWork, base *cmat.Matrix, step float64, stats *Stats) error {
+	wk.scratch.AddScaledInto(base, complex(-step, 0), wk.grad)
+	wk.scratch.HermitianizeInPlace()
+	stats.EigenDecomps++
+	if err := cmat.EigenSoftThresholdPSDInto(wk.eig, wk.nxt, wk.scratch, step*e.opts.Mu); err != nil {
+		return fmt.Errorf("covest: prox step: %w", err)
 	}
-	return next, nil
+	return nil
 }
 
-// initial builds the starting iterate: the warm start projected into the
-// working space when available, otherwise a back-projection of the
-// excess energies Σ_j max(w_j−1, 0)/γ · v_j·v_jᴴ / J.
-func (e *Estimator) initial(vs []cmat.Vector, ws []float64, warm *cmat.Matrix, basis []cmat.Vector, dim int) *cmat.Matrix {
+// initialInto builds the starting iterate into dst: the warm start
+// projected into the working space when available, otherwise a
+// back-projection of the excess energies Σ_j max(w_j−1, 0)/γ · v_j·v_jᴴ / J.
+func (e *Estimator) initialInto(dst *cmat.Matrix, vs []cmat.Vector, ws []float64, warm *cmat.Matrix, basis []cmat.Vector, dim int, wk *solverWork) {
 	if warm != nil && warm.Rows() == e.n {
 		if basis == nil {
-			return warm.Hermitianize()
+			dst.HermitianizeFrom(warm)
+			return
 		}
-		red := cmat.New(dim, dim)
-		for i := 0; i < dim; i++ {
-			for j := 0; j < dim; j++ {
-				red.Set(i, j, basis[i].Dot(warm.MulVec(basis[j])))
+		for j := 0; j < dim; j++ {
+			// Hoist warm·b_j out of the row loop; entry values match the
+			// per-entry basis[i].Dot(warm.MulVec(basis[j])) form.
+			warm.MulVecInto(wk.mulBuf, basis[j])
+			for i := 0; i < dim; i++ {
+				dst.Set(i, j, basis[i].Dot(wk.mulBuf))
 			}
 		}
-		return red.Hermitianize()
+		dst.HermitianizeInPlace()
+		return
 	}
-	q := cmat.New(dim, dim)
+	dst.Zero()
 	for j, v := range vs {
 		excess := math.Max(ws[j]-1, 0) / e.opts.Gamma
 		if excess == 0 {
 			continue
 		}
-		q.AddInPlace(complex(excess/float64(len(vs)), 0), v.Outer(v))
+		dst.AddScaledOuter(complex(excess/float64(len(vs)), 0), v)
 	}
-	return q.Hermitianize()
+	dst.HermitianizeInPlace()
 }
 
 // lambda returns λ_j(Q) = γ·v_jᴴQv_j + 1, floored slightly above zero so
@@ -440,11 +644,10 @@ func (e *Estimator) objective(q *cmat.Matrix, vs []cmat.Vector, ws []float64) fl
 	return f + e.opts.Mu*real(q.Trace())
 }
 
-// gradient returns ∇f(Q) (without the penalty term, which is handled by
-// the proximal operator). outers caches v_j·v_jᴴ.
-func (e *Estimator) gradient(q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix) *cmat.Matrix {
-	n := q.Rows()
-	g := cmat.New(n, n)
+// gradientInto accumulates ∇f(Q) into g (without the penalty term,
+// which is handled by the proximal operator). outers caches v_j·v_jᴴ.
+func (e *Estimator) gradientInto(g, q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix) {
+	g.Zero()
 	switch e.opts.Kind {
 	case Aggregate:
 		var s, w float64
@@ -463,5 +666,4 @@ func (e *Estimator) gradient(q *cmat.Matrix, vs []cmat.Vector, ws []float64, out
 			g.AddInPlace(complex(coef, 0), outers[j])
 		}
 	}
-	return g
 }

@@ -3,6 +3,8 @@ package experiment
 import (
 	"math"
 	"testing"
+
+	"mmwalign/internal/align"
 )
 
 // tinyConfig keeps experiment tests fast: 2x2/4x4 arrays, 8x16 books
@@ -127,6 +129,49 @@ func TestDeterminism(t *testing.T) {
 		for i := range a.Series[si].Y {
 			if a.Series[si].Y[i] != b.Series[si].Y[i] {
 				t.Fatalf("series %s point %d differs across identical runs", a.Series[si].Name, i)
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvariance pins the concurrency contract of the drop
+// runner: rng splits are pure functions of (seed, name) and results are
+// buffered and visited in order, so the trajectories must be
+// bit-identical — not merely close — regardless of how many workers
+// execute them.
+func TestWorkerCountInvariance(t *testing.T) {
+	collect := func(workers int) []align.Trajectory {
+		cfg := tinyConfig(false)
+		cfg.Workers = workers
+		var trs []align.Trajectory
+		err := trajectories(cfg, 32, func(scheme string, drop int, tr align.Trajectory) {
+			trs = append(trs, tr)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return trs
+	}
+	serial := collect(1)
+	parallel := collect(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("trajectory count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Scheme != b.Scheme || a.OptPair != b.OptPair || a.BestPair != b.BestPair {
+			t.Fatalf("trajectory %d identity differs: %+v vs %+v", i, a, b)
+		}
+		if a.OptSNR != b.OptSNR || a.BestMeasuredSNR != b.BestMeasuredSNR || a.BestTrueSNR != b.BestTrueSNR {
+			t.Fatalf("trajectory %d SNR fields differ bitwise", i)
+		}
+		if len(a.LossDB) != len(b.LossDB) {
+			t.Fatalf("trajectory %d loss length differs: %d vs %d", i, len(a.LossDB), len(b.LossDB))
+		}
+		for l := range a.LossDB {
+			if a.LossDB[l] != b.LossDB[l] {
+				t.Fatalf("trajectory %d (%s) loss[%d] differs bitwise: %v vs %v",
+					i, a.Scheme, l, a.LossDB[l], b.LossDB[l])
 			}
 		}
 	}
