@@ -1,6 +1,7 @@
 package mmwalign
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -192,8 +193,17 @@ func (l *Link) Spec() LinkSpec { return l.spec }
 // returns the selected beam pair with its quality metrics. Each call
 // sounds the same channel realization with fresh measurement noise and
 // fresh strategy randomness, so repeated calls (or different schemes)
-// are directly comparable.
+// are directly comparable. Align is the non-cancellable convenience
+// form of AlignContext.
 func (l *Link) Align(scheme Scheme, budget int, opts ...AlignOptions) (Result, error) {
+	return l.AlignContext(context.Background(), scheme, budget, opts...)
+}
+
+// AlignContext is Align with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, the run stops at the next
+// measurement or estimation boundary and the context's error is
+// returned (matchable with errors.Is).
+func (l *Link) AlignContext(ctx context.Context, scheme Scheme, budget int, opts ...AlignOptions) (Result, error) {
 	var opt AlignOptions
 	if len(opts) > 1 {
 		return Result{}, fmt.Errorf("mmwalign: pass at most one AlignOptions")
@@ -212,8 +222,11 @@ func (l *Link) Align(scheme Scheme, budget int, opts ...AlignOptions) (Result, e
 		Sounder: l.env.Sounder,
 		Src:     l.root.SplitIndexed("align-run", l.runs),
 	}
-	tr, err := align.Evaluate(runEnv, strat, budget)
+	tr, err := align.EvaluateContext(ctx, runEnv, strat, budget)
 	if err != nil {
+		if ctx.Err() != nil {
+			return Result{}, err
+		}
 		return Result{}, fmt.Errorf("mmwalign: %w", err)
 	}
 

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -34,8 +36,17 @@ func run() error {
 		snapshots = flag.Int("snapshots", 4, "snapshots per measurement")
 		j         = flag.Int("j", 8, "measurements per TX slot (proposed)")
 		verbose   = flag.Bool("v", false, "print the loss trajectory")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		maxFailed = flag.Int("max-failed-drops", 0, "retry budget: re-run a failed alignment up to this many times with fresh randomness")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	spec := mmwalign.LinkSpec{Seed: *seed, SNRdB: *snrDB, Snapshots: *snapshots}
 	switch *chKind {
@@ -56,9 +67,22 @@ func run() error {
 		b = int(math.Ceil(*rate * float64(link.TotalPairs())))
 	}
 
-	res, err := link.Align(mmwalign.Scheme(*scheme), b, mmwalign.AlignOptions{J: *j})
-	if err != nil {
-		return err
+	// Each retry re-runs on the same channel with fresh measurement noise
+	// and strategy randomness; cancellation and deadline errors are not
+	// retryable.
+	var res mmwalign.Result
+	for attempt := 0; ; attempt++ {
+		res, err = link.AlignContext(ctx, mmwalign.Scheme(*scheme), b, mmwalign.AlignOptions{J: *j})
+		if err == nil {
+			break
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("timed out after %v: %w", *timeout, err)
+		}
+		if attempt >= *maxFailed {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "beamalign: attempt %d failed (%v), retrying\n", attempt+1, err)
 	}
 
 	fmt.Printf("scheme:        %s\n", res.Scheme)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,20 +47,30 @@ func run() error {
 		out       = flag.String("out", "", "CSV output path (single figure; default stdout only)")
 		outdir    = flag.String("outdir", ".", "output directory for -all")
 		jsonOut   = flag.Bool("json", false, "also write a .json next to each CSV")
+		timeout   = flag.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
+		maxFailed = flag.Int("max-failed-drops", 0, "error budget: drops that may fail while still producing a figure (failures are excluded and reported)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if !*all && (*fig < 5 || *fig > 8) {
 		return fmt.Errorf("pass -fig 5..8 or -all")
 	}
 
 	cfg := experiment.Config{
-		Seed:      *seed,
-		Drops:     *drops,
-		GammaDB:   *gammaDB,
-		Snapshots: *snapshots,
-		J:         *j,
-		Mu:        *mu,
+		Seed:           *seed,
+		Drops:          *drops,
+		GammaDB:        *gammaDB,
+		Snapshots:      *snapshots,
+		J:              *j,
+		Mu:             *mu,
+		MaxFailedDrops: *maxFailed,
 	}
 	if *schemes != "" {
 		cfg.Schemes = splitComma(*schemes)
@@ -73,11 +84,18 @@ func run() error {
 	}
 	for _, f := range figs {
 		start := time.Now()
-		result, err := experiment.Generate(f, cfg)
+		result, err := experiment.GenerateContext(ctx, f, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("== %s (%s) — %d drops, %v ==\n", result.ID, result.Title, *drops, time.Since(start).Round(time.Millisecond))
+		if result.Failures != nil {
+			fmt.Printf("!! %d of %d drops excluded under the error budget:\n",
+				result.Failures.FailedDrops, result.Failures.TotalDrops)
+			for _, fl := range result.Failures.Failures {
+				fmt.Printf("!!   drop %d scheme %s: %v\n", fl.Drop, fl.Scheme, fl.Err)
+			}
+		}
 		if err := metrics.WriteTable(os.Stdout, result.XLabel, result.Series); err != nil {
 			return err
 		}

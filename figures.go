@@ -1,6 +1,7 @@
 package mmwalign
 
 import (
+	"context"
 	"fmt"
 
 	"mmwalign/internal/experiment"
@@ -27,6 +28,21 @@ type FigureResult struct {
 	// Series holds one curve per scheme (random, scan, proposed by
 	// default).
 	Series []FigureSeries
+	// FailedDrops counts channel drops excluded under the error budget
+	// (ReproduceOptions.MaxFailedDrops); the Series then aggregate only
+	// the surviving drops.
+	FailedDrops int
+	// FailureMessages describes each excluded (drop, scheme) cell.
+	FailureMessages []string
+}
+
+// ReproduceOptions tunes a figure reproduction beyond the paper's
+// defaults.
+type ReproduceOptions struct {
+	// MaxFailedDrops is the error budget: how many drops may fail while
+	// still producing a figure. The default 0 is strict — any failure
+	// aborts the reproduction with an attributed error.
+	MaxFailedDrops int
 }
 
 // ReproduceFigure regenerates one of the paper's result figures (5–8)
@@ -34,13 +50,37 @@ type FigureResult struct {
 // independent channel drops. Identical (figure, drops, seed) inputs
 // return identical results. Expect roughly a second of compute per drop
 // at the full problem size; the benchmark harness and cmd/figgen expose
-// the same generators with more knobs.
+// the same generators with more knobs. ReproduceFigure is the
+// non-cancellable convenience form of ReproduceFigureContext.
 func ReproduceFigure(figure, drops int, seed int64) (FigureResult, error) {
+	return ReproduceFigureContext(context.Background(), figure, drops, seed)
+}
+
+// ReproduceFigureContext is ReproduceFigure with cooperative
+// cancellation and an optional error budget: cancelling ctx stops the
+// drop workers and returns the context's error; with a positive
+// MaxFailedDrops, failed drops are excluded from the aggregation and
+// reported in the result instead of aborting it.
+func ReproduceFigureContext(ctx context.Context, figure, drops int, seed int64, opts ...ReproduceOptions) (FigureResult, error) {
 	if drops <= 0 {
 		return FigureResult{}, fmt.Errorf("mmwalign: drops %d must be positive", drops)
 	}
-	fig, err := experiment.Generate(figure, experiment.Config{Seed: seed, Drops: drops})
+	var opt ReproduceOptions
+	if len(opts) > 1 {
+		return FigureResult{}, fmt.Errorf("mmwalign: pass at most one ReproduceOptions")
+	}
+	if len(opts) == 1 {
+		opt = opts[0]
+	}
+	fig, err := experiment.GenerateContext(ctx, figure, experiment.Config{
+		Seed:           seed,
+		Drops:          drops,
+		MaxFailedDrops: opt.MaxFailedDrops,
+	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return FigureResult{}, err
+		}
 		return FigureResult{}, fmt.Errorf("mmwalign: %w", err)
 	}
 	out := FigureResult{ID: fig.ID, Title: fig.Title, XLabel: fig.XLabel, YLabel: fig.YLabel}
@@ -51,6 +91,13 @@ func ReproduceFigure(figure, drops int, seed int64) (FigureResult, error) {
 			Y:    append([]float64(nil), s.Y...),
 			YErr: append([]float64(nil), s.YErr...),
 		})
+	}
+	if fig.Failures != nil {
+		out.FailedDrops = fig.Failures.FailedDrops
+		for _, f := range fig.Failures.Failures {
+			out.FailureMessages = append(out.FailureMessages,
+				fmt.Sprintf("drop %d scheme %s: %v", f.Drop, f.Scheme, f.Err))
+		}
 	}
 	return out, nil
 }

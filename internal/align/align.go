@@ -10,6 +10,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,8 +32,10 @@ type Pair struct {
 type Env struct {
 	// TXBook and RXBook are the selectable beam sets.
 	TXBook, RXBook *antenna.Codebook
-	// Sounder performs pair measurements.
-	Sounder *meas.Sounder
+	// Sounder performs pair measurements. In production this is a
+	// *meas.Sounder; the interface seam exists so fault-injection and
+	// instrumentation wrappers can interpose on every measurement.
+	Sounder meas.Prober
 	// Src is the strategy's private randomness.
 	Src *rng.Source
 }
@@ -56,6 +59,36 @@ type Strategy interface {
 	// Run executes the search and returns the measurements in the order
 	// they were taken.
 	Run(env *Env, budget int) ([]meas.Measurement, error)
+}
+
+// ContextStrategy is implemented by strategies that support cooperative
+// cancellation. RunContext behaves like Run but stops cleanly (returning
+// the context's error and the measurements taken so far discarded) when
+// ctx is cancelled or its deadline passes. All built-in strategies
+// implement it; EvaluateContext uses it when available.
+type ContextStrategy interface {
+	Strategy
+	// RunContext is Run with cooperative cancellation.
+	RunContext(ctx context.Context, env *Env, budget int) ([]meas.Measurement, error)
+}
+
+// runStrategy dispatches to RunContext when the strategy supports it,
+// falling back to a plain Run bracketed by context checks otherwise.
+func runStrategy(ctx context.Context, env *Env, s Strategy, budget int) ([]meas.Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := s.(ContextStrategy); ok {
+		return cs.RunContext(ctx, env, budget)
+	}
+	ms, err := s.Run(env, budget)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ms, nil
 }
 
 // Oracle computes the ground-truth optimal pair (u_opt, v_opt) of
@@ -90,4 +123,43 @@ func clampBudget(env *Env, budget int) (int, error) {
 		return t, nil
 	}
 	return budget, nil
+}
+
+// scanRemaining spends the rest of a strategy's budget sounding
+// not-yet-measured pairs in snake-raster (scan) order. It is the shared
+// graceful-degradation mode of the learning-based strategies: when the
+// covariance estimator fails mid-trajectory (poisoned measurements, a
+// degenerate solve), the search falls back to the paper's Scan policy
+// rather than erroring the whole drop — mirroring the observation that
+// at 100% search rate every scheme reduces to the exhaustive scan.
+// Measurements are appended to out; pairs in measured are skipped and
+// newly sounded pairs are recorded there. Cancellation is honoured
+// between measurements.
+func scanRemaining(ctx context.Context, env *Env, measured map[Pair]bool, out []meas.Measurement, budget int) ([]meas.Measurement, error) {
+	txOrder := env.TXBook.SnakeOrder()
+	rxOrder := env.RXBook.SnakeOrder()
+	nRX := len(rxOrder)
+	for ti, tx := range txOrder {
+		for k := 0; k < nRX; k++ {
+			if len(out) >= budget {
+				return out, nil
+			}
+			ri := k
+			// Boustrophedon: reverse the RX sweep on odd TX steps so
+			// consecutive pairs stay spatially adjacent.
+			if ti%2 == 1 {
+				ri = nRX - 1 - ri
+			}
+			p := Pair{TX: tx, RX: rxOrder[ri]}
+			if measured[p] {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			measured[p] = true
+			out = append(out, env.MeasurePair(p))
+		}
+	}
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package align
 
 import (
+	"context"
+
 	"mmwalign/internal/meas"
 )
 
@@ -12,7 +14,12 @@ type RandomStrategy struct{}
 func (RandomStrategy) Name() string { return "random" }
 
 // Run implements Strategy.
-func (RandomStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+func (s RandomStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+	return s.RunContext(context.Background(), env, budget)
+}
+
+// RunContext implements ContextStrategy.
+func (RandomStrategy) RunContext(ctx context.Context, env *Env, budget int) ([]meas.Measurement, error) {
 	budget, err := clampBudget(env, budget)
 	if err != nil {
 		return nil, err
@@ -22,6 +29,9 @@ func (RandomStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
 	out := make([]meas.Measurement, 0, budget)
 	nRX := env.RXBook.Size()
 	for _, k := range perm[:budget] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := Pair{TX: k / nRX, RX: k % nRX}
 		out = append(out, env.MeasurePair(p))
 	}
@@ -41,7 +51,12 @@ type ScanStrategy struct{}
 func (ScanStrategy) Name() string { return "scan" }
 
 // Run implements Strategy.
-func (ScanStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+func (s ScanStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+	return s.RunContext(context.Background(), env, budget)
+}
+
+// RunContext implements ContextStrategy.
+func (ScanStrategy) RunContext(ctx context.Context, env *Env, budget int) ([]meas.Measurement, error) {
 	budget, err := clampBudget(env, budget)
 	if err != nil {
 		return nil, err
@@ -54,6 +69,9 @@ func (ScanStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
 	start := env.Src.Intn(nTX * nRX)
 	out := make([]meas.Measurement, 0, budget)
 	for k := 0; k < budget; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pos := (start + k) % (nTX * nRX)
 		ti := pos / nRX
 		ri := pos % nRX
@@ -77,7 +95,12 @@ func (ExhaustiveStrategy) Name() string { return "exhaustive" }
 
 // Run implements Strategy. The budget still applies: with budget < T it
 // is a deterministic partial raster from the first beam pair.
-func (ExhaustiveStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+func (s ExhaustiveStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+	return s.RunContext(context.Background(), env, budget)
+}
+
+// RunContext implements ContextStrategy.
+func (ExhaustiveStrategy) RunContext(ctx context.Context, env *Env, budget int) ([]meas.Measurement, error) {
 	budget, err := clampBudget(env, budget)
 	if err != nil {
 		return nil, err
@@ -90,6 +113,9 @@ func (ExhaustiveStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) 
 			if len(out) == budget {
 				return out, nil
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out = append(out, env.MeasurePair(Pair{TX: ti, RX: ri}))
 		}
 	}
@@ -97,7 +123,7 @@ func (ExhaustiveStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) 
 }
 
 var (
-	_ Strategy = RandomStrategy{}
-	_ Strategy = ScanStrategy{}
-	_ Strategy = ExhaustiveStrategy{}
+	_ ContextStrategy = RandomStrategy{}
+	_ ContextStrategy = ScanStrategy{}
+	_ ContextStrategy = ExhaustiveStrategy{}
 )

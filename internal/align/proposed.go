@@ -1,8 +1,10 @@
 package align
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/covest"
@@ -63,6 +65,18 @@ func (s *ProposedStrategy) Name() string { return "proposed" }
 
 // Run implements Strategy.
 func (s *ProposedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+	return s.RunContext(context.Background(), env, budget)
+}
+
+// RunContext implements ContextStrategy. Cancellation stops the search
+// at the next measurement or estimation boundary with the context's
+// error. Estimator failures do NOT fail the run: when the covariance
+// estimate becomes unavailable mid-trajectory (poisoned measurement
+// energies, a degenerate solve), the remaining budget degrades to
+// scan-order pair selection — the paper's Scan policy, which every
+// scheme reduces to at 100% search rate — so one bad measurement stream
+// costs estimation quality, never the whole drop.
+func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int) ([]meas.Measurement, error) {
 	budget, err := clampBudget(env, budget)
 	if err != nil {
 		return nil, err
@@ -96,6 +110,9 @@ func (s *ProposedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error)
 	}
 
 	for len(out) < budget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tx := txOrder[slot%len(txOrder)]
 		slot++
 		avail := s.unmeasuredRX(measured, tx, nRX)
@@ -137,15 +154,26 @@ func (s *ProposedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error)
 			// continues with its default regularization.
 			muSelected = true
 		}
-		q, _, estErr := est.Estimate(win, qhat)
+		q, stats, estErr := est.EstimateContext(ctx, win, qhat)
 		switch {
-		case estErr == nil:
+		case estErr == nil && isFiniteObjective(stats):
 			qhat = q
+		case estErr == nil:
+			// The solver returned but its state is degenerate (non-finite
+			// objective): abandon estimation for this drop and scan out
+			// the remaining budget.
+			return scanRemaining(ctx, env, measured, out, budget)
+		case errors.Is(estErr, context.Canceled) || errors.Is(estErr, context.DeadlineExceeded):
+			return nil, estErr
 		case errors.Is(estErr, cmat.ErrNoConvergence):
 			// Keep the previous estimate; the search degrades gracefully
 			// to its earlier knowledge rather than failing the run.
 		default:
-			return nil, fmt.Errorf("align: proposed estimation: %w", estErr)
+			// Estimator failure (e.g. poisoned energies in the history):
+			// the estimation pipeline is unusable for the rest of this
+			// drop, so fall back to scan-order selection instead of
+			// erroring the run.
+			return scanRemaining(ctx, env, measured, out, budget)
 		}
 
 		// Phase 3: J-th measurement on the best remaining beam under the
@@ -161,6 +189,12 @@ func (s *ProposedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error)
 		take(Pair{TX: tx, RX: sel[0]})
 	}
 	return out, nil
+}
+
+// isFiniteObjective reports whether a completed solve left a finite
+// objective — the O(1) degeneracy check on a fresh estimate.
+func isFiniteObjective(stats covest.Stats) bool {
+	return !math.IsNaN(stats.Objective) && !math.IsInf(stats.Objective, 0)
 }
 
 // unmeasuredRX lists RX beams not yet paired with tx.
@@ -246,4 +280,4 @@ func (s *ProposedStrategy) selectBeams(env *Env, qhat *cmat.Matrix, avail []int,
 	return out
 }
 
-var _ Strategy = (*ProposedStrategy)(nil)
+var _ ContextStrategy = (*ProposedStrategy)(nil)

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -59,10 +60,24 @@ func (tr Trajectory) FirstWithin(targetDB float64) int {
 // Evaluate runs a strategy once and scores its trajectory against the
 // oracle optimum. The strategy selects its answer from measured SNR
 // estimates only; the oracle and true SNRs are used purely for scoring.
+// Evaluate is the non-cancellable convenience form of EvaluateContext.
 func Evaluate(env *Env, s Strategy, budget int) (Trajectory, error) {
+	return EvaluateContext(context.Background(), env, s, budget)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: the run
+// stops cleanly at the next measurement or estimation boundary when ctx
+// is cancelled or its deadline passes, returning the context's error.
+func EvaluateContext(ctx context.Context, env *Env, s Strategy, budget int) (Trajectory, error) {
 	optPair, optSNR := Oracle(env)
-	ms, err := s.Run(env, budget)
+	ms, err := runStrategy(ctx, env, s, budget)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancellation is not a strategy failure: surface the bare
+			// context error so callers can match errors.Is(err,
+			// context.Canceled) across every layer.
+			return Trajectory{}, err
+		}
 		return Trajectory{}, fmt.Errorf("align: %s run: %w", s.Name(), err)
 	}
 

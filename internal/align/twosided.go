@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -36,6 +37,14 @@ func (s *TwoSidedStrategy) Name() string { return "two-sided" }
 
 // Run implements Strategy.
 func (s *TwoSidedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
+	return s.RunContext(context.Background(), env, budget)
+}
+
+// RunContext implements ContextStrategy with the same cancellation and
+// graceful-degradation semantics as the proposed scheme: cancellation
+// stops at the next boundary, estimator failure degrades to scan-order
+// selection for the remaining budget.
+func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int) ([]meas.Measurement, error) {
 	budget, err := clampBudget(env, budget)
 	if err != nil {
 		return nil, err
@@ -73,6 +82,9 @@ func (s *TwoSidedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error)
 
 	slot := 0
 	for len(out) < budget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tx := s.pickTX(env, slot, visits, energySum, energyCount, measured, nRX)
 		if tx < 0 {
 			break // every pair measured
@@ -106,14 +118,18 @@ func (s *TwoSidedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error)
 			if s.cfg.Window > 0 && len(obs) > s.cfg.Window {
 				win = obs[len(obs)-s.cfg.Window:]
 			}
-			q, _, estErr := est.Estimate(win, qhat)
+			q, stats, estErr := est.EstimateContext(ctx, win, qhat)
 			switch {
-			case estErr == nil:
+			case estErr == nil && isFiniteObjective(stats):
 				qhat = q
+			case errors.Is(estErr, context.Canceled) || errors.Is(estErr, context.DeadlineExceeded):
+				return nil, estErr
 			case errors.Is(estErr, cmat.ErrNoConvergence):
 				// keep previous estimate
 			default:
-				return nil, fmt.Errorf("align: two-sided estimation: %w", estErr)
+				// Degenerate solve or estimator failure: scan out the
+				// remaining budget instead of erroring the drop.
+				return scanRemaining(ctx, env, measured, out, budget)
 			}
 		}
 
@@ -180,4 +196,4 @@ func (s *TwoSidedStrategy) pickTX(env *Env, slot int, visits []int, energySum []
 	return candidates[env.Src.Intn(len(candidates))]
 }
 
-var _ Strategy = (*TwoSidedStrategy)(nil)
+var _ ContextStrategy = (*TwoSidedStrategy)(nil)

@@ -83,13 +83,16 @@ func (b *Blocker) Step(src *rng.Source) {
 }
 
 // ForceBlock sets cluster g's state directly (for tests and scripted
-// scenarios) and applies it. Panics if g is out of range.
-func (b *Blocker) ForceBlock(g int, blocked bool) {
+// scenarios) and applies it. Returns an error if g is out of range —
+// scripted scenarios are caller input, and bad input must not crash a
+// simulation that other drops depend on.
+func (b *Blocker) ForceBlock(g int, blocked bool) error {
 	if g < 0 || g >= len(b.blocked) {
-		panic(fmt.Sprintf("channel: blocker cluster %d out of range [0,%d)", g, len(b.blocked)))
+		return fmt.Errorf("channel: blocker cluster %d out of range [0,%d)", g, len(b.blocked))
 	}
 	b.blocked[g] = blocked
 	b.apply()
+	return nil
 }
 
 // BlockedCount returns how many clusters are currently blocked.

@@ -66,7 +66,9 @@ func TestForceBlockAttenuatesCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.ForceBlock(0, true)
+	if err := b.ForceBlock(0, true); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
 		want := before[i] * 0.01 // 20 dB
 		if math.Abs(ch.Paths[i].Power-want) > 1e-15 {
@@ -80,7 +82,9 @@ func TestForceBlockAttenuatesCluster(t *testing.T) {
 		}
 	}
 	// Unblocking restores exactly.
-	b.ForceBlock(0, false)
+	if err := b.ForceBlock(0, false); err != nil {
+		t.Fatal(err)
+	}
 	for i := range ch.Paths {
 		if ch.Paths[i].Power != before[i] {
 			t.Errorf("path %d not restored", i)
@@ -98,7 +102,9 @@ func TestForceBlockDegradesBeamGain(t *testing.T) {
 	u := ch.TX.Steering(ch.Paths[0].AoD)
 	v := ch.RX.Steering(ch.Paths[0].AoA)
 	gBefore := ch.MeanPairGain(u, v)
-	b.ForceBlock(0, true)
+	if err := b.ForceBlock(0, true); err != nil {
+		t.Fatal(err)
+	}
 	gAfter := ch.MeanPairGain(u, v)
 	if gAfter >= gBefore/2 {
 		t.Errorf("gain %g -> %g; blockage should slash it", gBefore, gAfter)
@@ -141,18 +147,21 @@ func TestBlockerNeverStepsWithZeroProb(t *testing.T) {
 	}
 }
 
-func TestForceBlockPanicsOutOfRange(t *testing.T) {
+func TestForceBlockErrorsOutOfRange(t *testing.T) {
 	ch := multipathFixture(t, 68)
 	b, err := NewBlocker(ch, 5, 0, 0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	b.ForceBlock(b.Clusters(), true)
+	if err := b.ForceBlock(b.Clusters(), true); err == nil {
+		t.Fatal("expected error for out-of-range cluster")
+	}
+	if err := b.ForceBlock(-1, true); err == nil {
+		t.Fatal("expected error for negative cluster")
+	}
+	if b.BlockedCount() != 0 {
+		t.Error("failed ForceBlock mutated blocker state")
+	}
 }
 
 func TestBlockerSinglePathOutage(t *testing.T) {
@@ -170,7 +179,9 @@ func TestBlockerSinglePathOutage(t *testing.T) {
 	u := ch.TX.Steering(ch.Paths[0].AoD)
 	v := ch.RX.Steering(ch.Paths[0].AoA)
 	gBefore := ch.MeanPairGain(u, v)
-	b.ForceBlock(0, true)
+	if err := b.ForceBlock(0, true); err != nil {
+		t.Fatal(err)
+	}
 	gAfter := ch.MeanPairGain(u, v)
 	ratioDB := 10 * math.Log10(gBefore/gAfter)
 	if math.Abs(ratioDB-25) > 1e-9 {

@@ -35,6 +35,7 @@
 package covest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -109,6 +110,90 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// StopReason records why the proximal solver stopped iterating.
+type StopReason int
+
+const (
+	// StopConverged means the relative objective decrease fell below Tol.
+	StopConverged StopReason = iota
+	// StopMaxIters means the iteration cap was reached while still
+	// making progress.
+	StopMaxIters
+	// StopNoProgress means backtracking could not find a decreasing step
+	// (the ordinary terminal state of the monotone solver at an optimum
+	// the tolerance test did not catch).
+	StopNoProgress
+	// StopStepCollapse means the backtracking step size collapsed below
+	// the minimum before a decreasing step was found.
+	StopStepCollapse
+	// StopNonFinite means a NaN/Inf objective, gradient, or iterate was
+	// detected; the solver recovered to its last finite iterate.
+	StopNonFinite
+	// StopDiverged means the objective ran away from the best value seen
+	// repeatedly; the solver recovered to its best finite iterate.
+	StopDiverged
+	// StopProxFailure means a proximal step's eigendecomposition failed;
+	// the solver recovered to its last finite iterate.
+	StopProxFailure
+	// StopCancelled means the context was cancelled or its deadline
+	// passed; the solver returned its best finite iterate so far.
+	StopCancelled
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopConverged:
+		return "converged"
+	case StopMaxIters:
+		return "max-iters"
+	case StopNoProgress:
+		return "no-progress"
+	case StopStepCollapse:
+		return "step-collapse"
+	case StopNonFinite:
+		return "non-finite"
+	case StopDiverged:
+		return "diverged"
+	case StopProxFailure:
+		return "prox-failure"
+	case StopCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// SolveDiagnostics is the typed, inspectable account of how a solve
+// terminated. It lets callers distinguish a healthy estimate from one
+// produced by a guardrail without parsing errors: the solver never
+// returns a non-finite Q̂ — it recovers to the last finite iterate and
+// reports what happened here.
+type SolveDiagnostics struct {
+	// Reason is the terminal state of the iteration.
+	Reason StopReason
+	// Recovered is true when a non-finite objective, gradient, or
+	// iterate was detected at any point and the solver fell back to a
+	// finite state (including a reset of a non-finite starting point).
+	Recovered bool
+	// DivergenceRestarts counts momentum restarts forced by objective
+	// runaway (FISTA only).
+	DivergenceRestarts int
+}
+
+// Degraded reports whether the solve ended through a guardrail rather
+// than ordinary convergence, the iteration cap, or a clean line-search
+// stall. A degraded-but-finite estimate is still usable; callers that
+// need pristine estimates (e.g. the alignment fallback policy) can key
+// off this.
+func (d SolveDiagnostics) Degraded() bool {
+	switch d.Reason {
+	case StopNonFinite, StopDiverged, StopProxFailure, StopCancelled:
+		return true
+	}
+	return d.Recovered
+}
+
 // Stats reports how an estimation run went. The counters make the
 // solver's cost observable: a benchmark that reports them alongside
 // wall-clock time can tell an algorithmic speedup (fewer
@@ -136,6 +221,9 @@ type Stats struct {
 	// Backtracks counts rejected backtracking line-search trials; each
 	// one costs a full eigendecomposition.
 	Backtracks int
+	// Diagnostics records how the solve terminated and whether any
+	// guardrail fired.
+	Diagnostics SolveDiagnostics
 }
 
 // Estimator estimates the N×N receive spatial covariance from energy
@@ -260,30 +348,70 @@ func NewEstimator(n int, opts Options) (*Estimator, error) {
 // ErrNoObservations is returned when Estimate is called with no data.
 var ErrNoObservations = errors.New("covest: no observations")
 
+// ObservationError is the typed rejection of an invalid observation —
+// a beam of the wrong dimension or a negative/NaN/Inf energy. It
+// carries the offending index so fault attribution can point at the
+// exact measurement.
+type ObservationError struct {
+	// Index is the position of the bad observation in the input slice.
+	Index int
+	// BadEnergy is true when the energy is at fault, false when the
+	// beam dimension is.
+	BadEnergy bool
+	// Dim is the beam dimension found.
+	Dim int
+	// Energy is the offending energy value.
+	Energy float64
+	// Want is the expected beam dimension.
+	Want int
+}
+
+// Error implements error.
+func (e *ObservationError) Error() string {
+	if e.BadEnergy {
+		return fmt.Sprintf("covest: observation %d has invalid energy %g", e.Index, e.Energy)
+	}
+	return fmt.Sprintf("covest: observation %d has beam dimension %d, want %d", e.Index, e.Dim, e.Want)
+}
+
 // Estimate solves the regularized ML problem for Q given the
 // observations. warm, if non-nil, seeds the solver with a previous
 // estimate (the algorithm carries Q̂ across TX slots); otherwise a
-// back-projection initializer is used.
+// back-projection initializer is used. Estimate is the non-cancellable
+// convenience form of EstimateContext.
 func (e *Estimator) Estimate(obs []Observation, warm *cmat.Matrix) (*cmat.Matrix, Stats, error) {
+	return e.EstimateContext(context.Background(), obs, warm)
+}
+
+// EstimateContext is Estimate with cooperative cancellation: when ctx
+// is cancelled or its deadline passes, the solver stops at the next
+// iteration boundary and returns its best finite iterate alongside the
+// context's error, with Stats.Diagnostics marking the early stop
+// (StopCancelled). The returned matrix is valid and PSD whenever it is
+// non-nil, even when err is non-nil.
+func (e *Estimator) EstimateContext(ctx context.Context, obs []Observation, warm *cmat.Matrix) (*cmat.Matrix, Stats, error) {
 	if len(obs) == 0 {
 		return nil, Stats{}, ErrNoObservations
 	}
 	for i, o := range obs {
 		if len(o.V) != e.n {
-			return nil, Stats{}, fmt.Errorf("covest: observation %d has beam dimension %d, want %d", i, len(o.V), e.n)
+			return nil, Stats{}, &ObservationError{Index: i, Dim: len(o.V), Want: e.n}
 		}
-		if o.Energy < 0 || math.IsNaN(o.Energy) {
-			return nil, Stats{}, fmt.Errorf("covest: observation %d has invalid energy %g", i, o.Energy)
+		if o.Energy < 0 || math.IsNaN(o.Energy) || math.IsInf(o.Energy, 0) {
+			return nil, Stats{}, &ObservationError{Index: i, BadEnergy: true, Energy: o.Energy, Want: e.n}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{Diagnostics: SolveDiagnostics{Reason: StopCancelled}}, err
 	}
 
 	if e.opts.DisableReduction {
-		q, stats, err := e.solve(obs, warm, nil)
+		q, stats, err := e.solve(ctx, obs, warm, nil)
 		return q, stats, err
 	}
 
 	basis := orthonormalBasis(obs, e.n)
-	q, stats, err := e.solve(obs, warm, basis)
+	q, stats, err := e.solve(ctx, obs, warm, basis)
 	return q, stats, err
 }
 
@@ -313,8 +441,10 @@ func orthonormalBasis(obs []Observation, n int) []cmat.Vector {
 // solve runs the proximal gradient loop, optionally in the subspace
 // spanned by basis (basis == nil means full space). All loop state
 // lives in the estimator's reusable workspace; only the returned
-// estimate is freshly allocated.
-func (e *Estimator) solve(obs []Observation, warm *cmat.Matrix, basis []cmat.Vector) (*cmat.Matrix, Stats, error) {
+// estimate is freshly allocated. On cancellation the best finite
+// iterate reached so far is still lifted and returned alongside the
+// context error.
+func (e *Estimator) solve(ctx context.Context, obs []Observation, warm *cmat.Matrix, basis []cmat.Vector) (*cmat.Matrix, Stats, error) {
 	reduced := basis != nil
 	dim := e.n
 	if reduced {
@@ -351,11 +481,11 @@ func (e *Estimator) solve(obs []Observation, warm *cmat.Matrix, basis []cmat.Vec
 	var obj float64
 	var err error
 	if e.opts.Accelerated {
-		q, obj, err = e.fistaLoop(wk, vs, ws, outers, &stats)
+		q, obj, err = e.fistaLoop(ctx, wk, vs, ws, outers, &stats)
 	} else {
-		q, obj, err = e.istaLoop(wk, vs, ws, outers, &stats)
+		q, obj, err = e.istaLoop(ctx, wk, vs, ws, outers, &stats)
 	}
-	if err != nil {
+	if q == nil {
 		return nil, stats, err
 	}
 
@@ -366,9 +496,9 @@ func (e *Estimator) solve(obs []Observation, warm *cmat.Matrix, basis []cmat.Vec
 	// spectrum because B is orthonormal, so no second decomposition of
 	// the full-size matrix is needed.
 	stats.EigenDecomps++
-	eig, err := wk.eig.EigHermitian(q)
-	if err != nil {
-		return nil, stats, fmt.Errorf("covest: decomposing estimate: %w", err)
+	eig, eigErr := wk.eig.EigHermitian(q)
+	if eigErr != nil {
+		return nil, stats, fmt.Errorf("covest: decomposing estimate: %w", eigErr)
 	}
 	full := q
 	if reduced {
@@ -390,7 +520,9 @@ func (e *Estimator) solve(obs []Observation, warm *cmat.Matrix, basis []cmat.Vec
 	} else {
 		stats.Rank = rankOfSpectrum(eig.Values, 1e-8)
 	}
-	return full.Hermitianize(), stats, nil
+	// err carries the context error of a cancelled solve; the estimate
+	// itself is still the valid best finite iterate.
+	return full.Hermitianize(), stats, err
 }
 
 // rankOfPSDSpectrum counts eigenvalues above tol·λ_max among the
@@ -443,21 +575,55 @@ func rankOfSpectrum(vals []float64, tol float64) int {
 // iterations allocate nothing: the gradient, the prox scratch, and the
 // candidate all live in the workspace, and accepted candidates are
 // adopted by pointer swap.
-func (e *Estimator) istaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+//
+// Guardrails (all O(1) per iteration, piggybacking on values the loop
+// already computes): a non-finite starting objective resets the iterate
+// to zero; a non-finite gradient or a failed prox eigendecomposition
+// stops the loop at the last accepted (finite) iterate; monotone
+// acceptance means NaN/Inf candidates are rejected like any
+// non-decreasing trial, so the iterate can never go non-finite. A
+// cancelled context stops at the next iteration boundary and the
+// current iterate is returned with the context's error.
+func (e *Estimator) istaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+	diag := &stats.Diagnostics
 	q := wk.cur
 	obj := e.objective(q, vs, ws)
 	stats.ObjectiveEvals++
+	if !isFinite(obj) {
+		// A poisoned warm start (or a pathological back-projection) is
+		// unrecoverable by descent: restart from the zero matrix, whose
+		// objective is always finite for validated observations.
+		q.Zero()
+		obj = e.objective(q, vs, ws)
+		stats.ObjectiveEvals++
+		diag.Recovered = true
+	}
+	diag.Reason = StopMaxIters
 	step := e.opts.InitStep
 	for it := 0; it < e.opts.MaxIters; it++ {
-		e.gradientInto(wk.grad, q, vs, ws, outers)
+		if ctx.Err() != nil {
+			diag.Reason = StopCancelled
+			return q, obj, ctx.Err()
+		}
+		if ok := e.gradientInto(wk.grad, q, vs, ws, outers); !ok {
+			diag.Reason = StopNonFinite
+			diag.Recovered = true
+			return q, obj, nil
+		}
 		stats.GradientEvals++
 		improved := false
+		sawNonFinite := false
 		for try := 0; try < 30; try++ {
 			if err := e.proxStepInto(wk, q, step, stats); err != nil {
-				return nil, 0, err
+				diag.Reason = StopProxFailure
+				diag.Recovered = true
+				return q, obj, nil
 			}
 			nextObj := e.objective(wk.nxt, vs, ws)
 			stats.ObjectiveEvals++
+			if !isFinite(nextObj) {
+				sawNonFinite = true
+			}
 			if nextObj <= obj {
 				rel := (obj - nextObj) / (math.Abs(obj) + 1)
 				q, wk.nxt = wk.nxt, q
@@ -467,6 +633,7 @@ func (e *Estimator) istaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, out
 				improved = true
 				step *= 1.2
 				if rel < e.opts.Tol {
+					diag.Reason = StopConverged
 					it = e.opts.MaxIters // converged: exit outer loop
 				}
 				break
@@ -474,14 +641,29 @@ func (e *Estimator) istaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, out
 			stats.Backtracks++
 			step /= 2
 			if step < 1e-12 {
+				if diag.Reason != StopConverged {
+					diag.Reason = StopStepCollapse
+				}
 				break
 			}
 		}
 		if !improved {
+			switch {
+			case sawNonFinite:
+				diag.Reason = StopNonFinite
+				diag.Recovered = true
+			case diag.Reason == StopMaxIters:
+				diag.Reason = StopNoProgress
+			}
 			break
 		}
 	}
 	return q, obj, nil
+}
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 // fistaLoop runs FISTA (Nesterov-accelerated proximal gradient) with
@@ -489,36 +671,87 @@ func (e *Estimator) istaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, out
 // the momentum is reset, which recovers monotone behaviour on the
 // non-convex part of the likelihood while keeping the acceleration on
 // well-behaved stretches.
-func (e *Estimator) fistaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+//
+// Guardrails mirror istaLoop's, with two additions the non-monotone
+// method needs: a non-finite extrapolated point kills the momentum and
+// restarts from the best iterate seen, and repeated objective runaway
+// past the best value (divergence, possible here because acceptance is
+// not monotone) stops the loop after a bounded number of forced
+// restarts. The returned iterate is always the best finite one seen.
+func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+	diag := &stats.Diagnostics
 	x := wk.cur
 	y := wk.extr
-	y.CopyFrom(x)
 	obj := e.objective(x, vs, ws)
 	stats.ObjectiveEvals++
+	if !isFinite(obj) {
+		x.Zero()
+		obj = e.objective(x, vs, ws)
+		stats.ObjectiveEvals++
+		diag.Recovered = true
+	}
+	y.CopyFrom(x)
 	best := wk.best
 	best.CopyFrom(x)
 	bestObj := obj
 	step := e.opts.InitStep
 	tMom := 1.0
+	// Divergence is declared when an accepted objective exceeds the best
+	// seen by this margin; three forced restarts without recovery stop
+	// the solve.
+	divergeLimit := 1e6 * (math.Abs(bestObj) + 1)
+	diag.Reason = StopMaxIters
 
 	for it := 0; it < e.opts.MaxIters; it++ {
-		e.gradientInto(wk.grad, y, vs, ws, outers)
-		stats.GradientEvals++
+		if ctx.Err() != nil {
+			diag.Reason = StopCancelled
+			return best, bestObj, ctx.Err()
+		}
 		// The extrapolated point y is fixed for the whole backtracking
 		// search, so its objective is loop-invariant: evaluate it once
 		// per outer iteration, not once per trial.
 		objY := e.objective(y, vs, ws)
 		stats.ObjectiveEvals++
+		if !isFinite(objY) {
+			// Momentum overshot into non-finite territory: restart from
+			// the best iterate (whose objective is finite by
+			// construction) with the momentum killed.
+			tMom = 1
+			y.CopyFrom(best)
+			x.CopyFrom(best)
+			obj = bestObj
+			step /= 2
+			diag.Recovered = true
+			if step < 1e-12 {
+				diag.Reason = StopStepCollapse
+				break
+			}
+			continue
+		}
+		if ok := e.gradientInto(wk.grad, y, vs, ws, outers); !ok {
+			diag.Reason = StopNonFinite
+			diag.Recovered = true
+			return best, bestObj, nil
+		}
+		stats.GradientEvals++
 		var nextObj float64
 		accepted := false
+		sawNonFinite := false
 		for try := 0; try < 30; try++ {
 			if err := e.proxStepInto(wk, y, step, stats); err != nil {
-				return nil, 0, err
+				diag.Reason = StopProxFailure
+				diag.Recovered = true
+				return best, bestObj, nil
 			}
 			candObj := e.objective(wk.nxt, vs, ws)
 			stats.ObjectiveEvals++
+			if !isFinite(candObj) {
+				sawNonFinite = true
+			}
 			// Backtracking acceptance: sufficient decrease relative to
-			// the extrapolated point's majorizer.
+			// the extrapolated point's majorizer. NaN/Inf candidates
+			// fail both comparisons and are backtracked like any
+			// rejected trial.
 			if candObj <= objY+1e-12 || candObj <= obj {
 				nextObj = candObj
 				accepted = true
@@ -527,14 +760,40 @@ func (e *Estimator) fistaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, ou
 			stats.Backtracks++
 			step /= 2
 			if step < 1e-12 {
+				diag.Reason = StopStepCollapse
 				break
 			}
 		}
 		if !accepted {
+			switch {
+			case sawNonFinite:
+				diag.Reason = StopNonFinite
+				diag.Recovered = true
+			case diag.Reason == StopMaxIters:
+				diag.Reason = StopNoProgress
+			}
 			break
 		}
 		stats.Iters = it + 1
 
+		if !isFinite(nextObj) || nextObj-bestObj > divergeLimit {
+			// Objective runaway: the accepted candidate is far above
+			// (or beyond) anything useful. Kill the momentum, shrink
+			// the step, and retry from the best iterate; give up after
+			// three such restarts.
+			diag.DivergenceRestarts++
+			tMom = 1
+			y.CopyFrom(best)
+			x.CopyFrom(best)
+			obj = bestObj
+			step /= 4
+			if diag.DivergenceRestarts >= 3 || step < 1e-12 {
+				diag.Reason = StopDiverged
+				diag.Recovered = true
+				break
+			}
+			continue
+		}
 		if nextObj > obj {
 			// Adaptive restart: kill the momentum and retry from the
 			// best point seen.
@@ -560,6 +819,7 @@ func (e *Estimator) fistaLoop(wk *solverWork, vs []cmat.Vector, ws []float64, ou
 			bestObj = obj
 		}
 		if rel < e.opts.Tol {
+			diag.Reason = StopConverged
 			break
 		}
 	}
@@ -646,7 +906,10 @@ func (e *Estimator) objective(q *cmat.Matrix, vs []cmat.Vector, ws []float64) fl
 
 // gradientInto accumulates ∇f(Q) into g (without the penalty term,
 // which is handled by the proximal operator). outers caches v_j·v_jᴴ.
-func (e *Estimator) gradientInto(g, q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix) {
+// It reports false when any rank-one coefficient is NaN/Inf — the O(1)
+// guardrail (per coefficient already being computed) that keeps a
+// poisoned gradient from ever reaching the prox step.
+func (e *Estimator) gradientInto(g, q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix) bool {
 	g.Zero()
 	switch e.opts.Kind {
 	case Aggregate:
@@ -656,6 +919,9 @@ func (e *Estimator) gradientInto(g, q *cmat.Matrix, vs []cmat.Vector, ws []float
 			w += ws[j]
 		}
 		coef := (1/s - w/(s*s)) * e.opts.Gamma
+		if !isFinite(coef) {
+			return false
+		}
 		for j := range vs {
 			g.AddInPlace(complex(coef, 0), outers[j])
 		}
@@ -663,7 +929,11 @@ func (e *Estimator) gradientInto(g, q *cmat.Matrix, vs []cmat.Vector, ws []float
 		for j, v := range vs {
 			l := e.lambda(q, v)
 			coef := (1/l - ws[j]/(l*l)) * e.opts.Gamma
+			if !isFinite(coef) {
+				return false
+			}
 			g.AddInPlace(complex(coef, 0), outers[j])
 		}
 	}
+	return true
 }

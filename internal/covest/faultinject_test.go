@@ -1,0 +1,221 @@
+package covest
+
+// Solver-guardrail tests exercised by the fault-injection CI smoke job
+// (go test -run FaultInject -race ./...): every poisoned input or
+// destabilized solve must end in a typed rejection or a recovered finite
+// estimate — never a panic, never a NaN matrix.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/rng"
+)
+
+// finiteMatrix reports whether every entry of m is finite.
+func finiteMatrix(m *cmat.Matrix) bool {
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			v := m.At(i, j)
+			if math.IsNaN(real(v)) || math.IsInf(real(v), 0) ||
+				math.IsNaN(imag(v)) || math.IsInf(imag(v), 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFaultInjectPoisonedObservationsRejected(t *testing.T) {
+	e, err := NewEstimator(4, Options{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		energy float64
+	}{
+		{"nan", math.NaN()},
+		{"+inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+		{"negative", -2},
+	}
+	for _, tc := range cases {
+		obs := []Observation{
+			{V: cmat.NewVector(4), Energy: 1},
+			{V: cmat.NewVector(4), Energy: tc.energy},
+		}
+		_, _, err := e.Estimate(obs, nil)
+		var oe *ObservationError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%s: err = %v, want *ObservationError", tc.name, err)
+		}
+		if oe.Index != 1 || !oe.BadEnergy {
+			t.Errorf("%s: attribution = %+v, want Index=1 BadEnergy=true", tc.name, oe)
+		}
+	}
+}
+
+func TestFaultInjectOutlierEnergiesStayFinite(t *testing.T) {
+	// Heavy-tailed interference spikes: finite but absurd energies must
+	// yield a finite PSD estimate, with diagnostics telling the caller
+	// whether a guardrail fired.
+	n := 8
+	q, beams, _ := rank1Fixture(n)
+	src := rng.New(7001)
+	obs := synthObservations(src, q, beams, 1)
+	for i := range obs {
+		if i%3 == 0 {
+			obs[i].Energy *= 1e18
+		}
+	}
+	for _, accelerated := range []bool{false, true} {
+		e, err := NewEstimator(n, Options{Gamma: 1, Accelerated: accelerated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qhat, stats, err := e.Estimate(obs, nil)
+		if err != nil {
+			t.Fatalf("accelerated=%v: estimate errored on finite input: %v", accelerated, err)
+		}
+		if qhat == nil || !finiteMatrix(qhat) {
+			t.Fatalf("accelerated=%v: non-finite estimate from finite (outlier) input", accelerated)
+		}
+		if !isFinite(stats.Objective) && !stats.Diagnostics.Degraded() {
+			t.Errorf("accelerated=%v: non-finite objective without a degradation flag: %+v",
+				accelerated, stats.Diagnostics)
+		}
+	}
+}
+
+func TestFaultInjectDivergentSolverRecovers(t *testing.T) {
+	// An absurd initial step with FISTA's non-monotone acceptance is the
+	// classic divergence recipe; the guardrails must recover to a finite
+	// iterate instead of returning runaway values.
+	n := 8
+	q, beams, _ := rank1Fixture(n)
+	src := rng.New(7002)
+	obs := synthObservations(src, q, beams, 1)
+
+	e, err := NewEstimator(n, Options{Gamma: 1, Accelerated: true, InitStep: 1e12, MaxIters: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qhat, stats, err := e.Estimate(obs, nil)
+	if err != nil {
+		t.Fatalf("estimate errored: %v", err)
+	}
+	if qhat == nil || !finiteMatrix(qhat) {
+		t.Fatal("divergent solve returned a non-finite estimate")
+	}
+	if !isFinite(stats.Objective) {
+		t.Errorf("final objective %g is not finite", stats.Objective)
+	}
+	if stats.Diagnostics.Reason == StopDiverged && stats.Diagnostics.DivergenceRestarts == 0 {
+		t.Error("StopDiverged reported without any recorded restarts")
+	}
+}
+
+func TestFaultInjectCancelledBeforeSolve(t *testing.T) {
+	n := 8
+	q, beams, _ := rank1Fixture(n)
+	src := rng.New(7003)
+	obs := synthObservations(src, q, beams, 1)
+
+	e, err := NewEstimator(n, Options{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qhat, stats, err := e.EstimateContext(ctx, obs, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if qhat != nil {
+		t.Error("pre-solve cancellation should return no estimate")
+	}
+	if stats.Diagnostics.Reason != StopCancelled {
+		t.Errorf("reason = %v, want %v", stats.Diagnostics.Reason, StopCancelled)
+	}
+}
+
+// countdownCtx reports cancellation only after its Err method has been
+// consulted n times — a deterministic way to cancel mid-iteration.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	if c.remaining <= 0 {
+		close(ch)
+	}
+	return ch
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestFaultInjectMidSolveCancellationReturnsBestIterate(t *testing.T) {
+	n := 8
+	q, beams, _ := rank1Fixture(n)
+	src := rng.New(7004)
+	obs := synthObservations(src, q, beams, 1)
+
+	for _, accelerated := range []bool{false, true} {
+		e, err := NewEstimator(n, Options{Gamma: 1, Accelerated: accelerated, MaxIters: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Survive the upfront check plus a couple of iterations, then
+		// cancel mid-loop.
+		ctx := &countdownCtx{Context: context.Background(), remaining: 3}
+		qhat, stats, err := e.EstimateContext(ctx, obs, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("accelerated=%v: err = %v, want context.Canceled", accelerated, err)
+		}
+		if qhat == nil || !finiteMatrix(qhat) {
+			t.Fatalf("accelerated=%v: cancelled solve must return its best finite iterate", accelerated)
+		}
+		if stats.Diagnostics.Reason != StopCancelled {
+			t.Errorf("accelerated=%v: reason = %v, want %v", accelerated, stats.Diagnostics.Reason, StopCancelled)
+		}
+		if !stats.Diagnostics.Degraded() {
+			t.Errorf("accelerated=%v: cancelled solve should report Degraded", accelerated)
+		}
+		if stats.Iters >= 50 {
+			t.Errorf("accelerated=%v: cancellation did not stop the loop early (%d iters)", accelerated, stats.Iters)
+		}
+	}
+}
+
+func TestFaultInjectStopReasonStrings(t *testing.T) {
+	reasons := []StopReason{
+		StopConverged, StopMaxIters, StopNoProgress, StopStepCollapse,
+		StopNonFinite, StopDiverged, StopProxFailure, StopCancelled,
+	}
+	seen := map[string]bool{}
+	for _, r := range reasons {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Errorf("reason %d has empty or duplicate string %q", int(r), s)
+		}
+		seen[s] = true
+	}
+	if got := StopReason(99).String(); got != "StopReason(99)" {
+		t.Errorf("unknown reason string = %q", got)
+	}
+}

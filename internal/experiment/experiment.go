@@ -14,9 +14,12 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"mmwalign/internal/align"
@@ -73,6 +76,20 @@ type Config struct {
 	// PhaseBits applies b-bit phase-shifter quantization to both
 	// codebooks (0 = ideal continuous phases).
 	PhaseBits int
+	// MaxFailedDrops is the error budget: how many drops may fail
+	// (worker panic, estimator failure, invalid measurements) while
+	// still producing a figure. A failed drop is excluded from the
+	// aggregation of every scheme — keeping the per-scheme means
+	// comparable — and recorded in the figure's FailureReport. The
+	// default 0 is strict: any failure aborts the figure with every
+	// collected failure joined into the returned error.
+	MaxFailedDrops int
+	// WrapSounder, when non-nil, wraps each (drop, scheme) cell's
+	// sounder before the strategies run — the seam used by the
+	// fault-injection harness and instrumentation. The wrapper must be
+	// deterministic in (drop, scheme) for the worker-count invariance
+	// guarantee to hold.
+	WrapSounder func(drop int, scheme string, p meas.Prober) meas.Prober
 }
 
 // WithDefaults returns a copy with zero fields replaced by the defaults
@@ -144,6 +161,69 @@ type Figure struct {
 	XLabel, YLabel string
 	// Series holds one curve per scheme.
 	Series []metrics.Series
+	// Failures reports drops excluded under the error budget
+	// (Config.MaxFailedDrops). Nil when every drop succeeded; when
+	// non-nil the Series aggregate only the surviving drops, making
+	// partial results first-class rather than silent.
+	Failures *FailureReport
+}
+
+// DropFailure is one failed (drop, scheme) cell with full attribution.
+type DropFailure struct {
+	// Drop is the channel-realization index that failed.
+	Drop int
+	// Scheme is the strategy that failed on it.
+	Scheme string
+	// Err is the attributed failure (a *PanicError for recovered
+	// panics).
+	Err error
+}
+
+// FailureReport accounts for every drop excluded from a figure. The
+// listing is deterministic: failures appear in drop-major, scheme
+// order regardless of the worker count.
+type FailureReport struct {
+	// Failures lists each failed (drop, scheme) cell.
+	Failures []DropFailure
+	// FailedDrops is the number of distinct drops excluded (a drop with
+	// several failing schemes counts once).
+	FailedDrops int
+	// TotalDrops is the configured drop count.
+	TotalDrops int
+}
+
+// Err joins every recorded failure into one inspectable error (nil when
+// the report is empty).
+func (r *FailureReport) Err() error {
+	if r == nil || len(r.Failures) == 0 {
+		return nil
+	}
+	errs := make([]error, len(r.Failures))
+	for i, f := range r.Failures {
+		errs[i] = f.Err
+	}
+	return errors.Join(errs...)
+}
+
+// PanicError is a worker panic recovered into an attributed error: the
+// drop and scheme that crashed, the panic value, and the goroutine
+// stack at the point of the panic. It preserves failure isolation — a
+// shape or index bug in one drop's linear algebra becomes one failed
+// cell instead of a process crash.
+type PanicError struct {
+	// Drop and Scheme attribute the cell that panicked.
+	Drop int
+	// Scheme is the strategy name.
+	Scheme string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment: drop %d scheme %s panicked: %v\n%s", e.Drop, e.Scheme, e.Value, e.Stack)
 }
 
 // buildEnv creates the per-drop, per-scheme environment. All schemes of
@@ -164,14 +244,18 @@ func buildEnv(cfg Config, root *rng.Source, drop int, scheme string) (*align.Env
 		ch, err = channel.NewSinglePath(chSrc, tx, rx, channel.SinglePathSpec{})
 	}
 	if err != nil {
-		return nil, fmt.Errorf("experiment: drop %d channel: %w", drop, err)
+		return nil, fmt.Errorf("channel: %w", err)
 	}
 
 	sounder, err := meas.NewSounder(ch, channel.DBToLinear(cfg.GammaDB), root.SplitIndexed("noise", drop))
 	if err != nil {
-		return nil, fmt.Errorf("experiment: drop %d sounder: %w", drop, err)
+		return nil, fmt.Errorf("sounder: %w", err)
 	}
 	sounder.SetSnapshots(cfg.Snapshots)
+	var prober meas.Prober = sounder
+	if cfg.WrapSounder != nil {
+		prober = cfg.WrapSounder(drop, scheme, prober)
+	}
 
 	txBook := antenna.NewGridCodebook(tx, cfg.TXBookAz, cfg.TXBookEl, math.Pi, math.Pi/2)
 	rxBook := antenna.NewGridCodebook(rx, cfg.RXBookAz, cfg.RXBookEl, math.Pi, math.Pi/2)
@@ -182,7 +266,7 @@ func buildEnv(cfg Config, root *rng.Source, drop int, scheme string) (*align.Env
 	return &align.Env{
 		TXBook:  txBook,
 		RXBook:  rxBook,
-		Sounder: sounder,
+		Sounder: prober,
 		Src:     root.SplitIndexed("strategy-"+scheme, drop),
 	}, nil
 }
@@ -229,6 +313,40 @@ func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, erro
 	}
 }
 
+// cell is one (drop, scheme) result slot.
+type cell struct {
+	tr  align.Trajectory
+	err error
+}
+
+// runCell executes one (drop, scheme) computation and attributes any
+// failure with its coordinates. Cancellation errors pass through
+// unwrapped so callers can match errors.Is(err, context.Canceled).
+func runCell(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme string, budget int) cell {
+	attr := func(err error) cell {
+		if ctx.Err() != nil {
+			return cell{err: ctx.Err()}
+		}
+		return cell{err: fmt.Errorf("experiment: drop %d scheme %s: %w", drop, scheme, err)}
+	}
+	if err := ctx.Err(); err != nil {
+		return cell{err: err}
+	}
+	env, err := buildEnv(cfg, root, drop, scheme)
+	if err != nil {
+		return attr(err)
+	}
+	strat, err := makeStrategy(cfg, scheme, env)
+	if err != nil {
+		return attr(err)
+	}
+	tr, err := align.EvaluateContext(ctx, env, strat, budget)
+	if err != nil {
+		return attr(err)
+	}
+	return cell{tr: tr}
+}
+
 // trajectories runs every configured scheme on every drop with the given
 // measurement budget and feeds each per-drop trajectory to visit, in
 // deterministic (drop-major, scheme order) sequence.
@@ -237,14 +355,19 @@ func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, erro
 // pure functions of (seed, name), so each (drop, scheme) cell is an
 // isolated computation and the parallel schedule cannot change any
 // result. Results are buffered and visited in order, making the output
-// bit-identical to a sequential run.
-func trajectories(cfg Config, budget int, visit func(scheme string, drop int, tr align.Trajectory)) error {
+// bit-identical to a sequential run (WrapSounder hooks must themselves
+// be deterministic in (drop, scheme) to preserve this).
+//
+// Failure isolation: a panic in any cell is recovered into an
+// attributed *PanicError, and every cell error is collected — never
+// just the first. Under the error budget (Config.MaxFailedDrops) failed
+// drops are skipped for all schemes (keeping the per-scheme aggregates
+// comparable) and reported; over budget, the joined errors are
+// returned. Cancelling ctx stops spawning, drains the running workers,
+// and returns the context's error.
+func trajectories(ctx context.Context, cfg Config, budget int, visit func(scheme string, drop int, tr align.Trajectory)) (*FailureReport, error) {
 	root := rng.New(cfg.Seed)
 
-	type cell struct {
-		tr  align.Trajectory
-		err error
-	}
 	results := make([][]cell, cfg.Drops)
 	for d := range results {
 		results[d] = make([]cell, len(cfg.Schemes))
@@ -256,45 +379,72 @@ func trajectories(cfg Config, budget int, visit func(scheme string, drop int, tr
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+spawn:
 	for drop := 0; drop < cfg.Drops; drop++ {
 		for si, scheme := range cfg.Schemes {
 			drop, si, scheme := drop, si, scheme
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				break spawn
+			}
 			wg.Add(1)
-			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				env, err := buildEnv(cfg, root, drop, scheme)
-				if err != nil {
-					results[drop][si] = cell{err: err}
-					return
-				}
-				strat, err := makeStrategy(cfg, scheme, env)
-				if err != nil {
-					results[drop][si] = cell{err: err}
-					return
-				}
-				tr, err := align.Evaluate(env, strat, budget)
-				if err != nil {
-					results[drop][si] = cell{err: fmt.Errorf("experiment: drop %d scheme %s: %w", drop, scheme, err)}
-					return
-				}
-				results[drop][si] = cell{tr: tr}
+				defer func() {
+					if r := recover(); r != nil {
+						results[drop][si] = cell{err: &PanicError{Drop: drop, Scheme: scheme, Value: r, Stack: debug.Stack()}}
+					}
+				}()
+				results[drop][si] = runCell(ctx, cfg, root, drop, scheme, budget)
 			}()
 		}
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
+	// Collect every failure with attribution; a drop is excluded for all
+	// schemes as soon as any of its cells failed, so the surviving
+	// aggregates stay comparable across schemes.
+	failedDrop := make([]bool, cfg.Drops)
+	var failures []DropFailure
 	for drop := 0; drop < cfg.Drops; drop++ {
 		for si, scheme := range cfg.Schemes {
-			c := results[drop][si]
-			if c.err != nil {
-				return c.err
+			if err := results[drop][si].err; err != nil {
+				failedDrop[drop] = true
+				failures = append(failures, DropFailure{Drop: drop, Scheme: scheme, Err: err})
 			}
-			visit(scheme, drop, c.tr)
 		}
 	}
-	return nil
+	var report *FailureReport
+	if len(failures) > 0 {
+		report = &FailureReport{Failures: failures, TotalDrops: cfg.Drops}
+		for _, failed := range failedDrop {
+			if failed {
+				report.FailedDrops++
+			}
+		}
+		if report.FailedDrops > cfg.MaxFailedDrops {
+			return report, fmt.Errorf("experiment: %d of %d drops failed (error budget %d): %w",
+				report.FailedDrops, cfg.Drops, cfg.MaxFailedDrops, report.Err())
+		}
+		if report.FailedDrops == cfg.Drops {
+			return report, fmt.Errorf("experiment: all %d drops failed: %w", cfg.Drops, report.Err())
+		}
+	}
+
+	for drop := 0; drop < cfg.Drops; drop++ {
+		if failedDrop[drop] {
+			continue
+		}
+		for si, scheme := range cfg.Schemes {
+			visit(scheme, drop, results[drop][si].tr)
+		}
+	}
+	return report, nil
 }
 
 // totalPairs returns T for the configured codebooks.
@@ -304,7 +454,16 @@ func (c Config) totalPairs() int {
 
 // SearchEffectiveness regenerates Fig. 5 (single-path) or Fig. 6
 // (multipath): mean SNR loss of the selected pair at each search rate.
+// It is the non-cancellable convenience form of
+// SearchEffectivenessContext.
 func SearchEffectiveness(cfg Config) (Figure, error) {
+	return SearchEffectivenessContext(context.Background(), cfg)
+}
+
+// SearchEffectivenessContext is SearchEffectiveness with cooperative
+// cancellation and first-class partial results: failed drops within the
+// error budget are excluded and reported in Figure.Failures.
+func SearchEffectivenessContext(ctx context.Context, cfg Config) (Figure, error) {
 	cfg = cfg.WithDefaults()
 	t := cfg.totalPairs()
 	maxRate := cfg.SearchRates[len(cfg.SearchRates)-1]
@@ -314,7 +473,7 @@ func SearchEffectiveness(cfg Config) (Figure, error) {
 	for _, s := range cfg.Schemes {
 		accs[s] = make([]metrics.Accumulator, len(cfg.SearchRates))
 	}
-	err := trajectories(cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
+	report, err := trajectories(ctx, cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
 		for i, rate := range cfg.SearchRates {
 			l := int(math.Ceil(rate * float64(t)))
 			if l < 1 {
@@ -331,9 +490,10 @@ func SearchEffectiveness(cfg Config) (Figure, error) {
 	}
 
 	fig := Figure{
-		Title:  "Search effectiveness: SNR loss vs search rate",
-		XLabel: "search rate (L/T)",
-		YLabel: "SNR loss (dB)",
+		Title:    "Search effectiveness: SNR loss vs search rate",
+		XLabel:   "search rate (L/T)",
+		YLabel:   "SNR loss (dB)",
+		Failures: report,
 	}
 	if cfg.Multipath {
 		fig.ID, fig.Title = "fig6", fig.Title+" — NYC multipath channel"
@@ -356,8 +516,16 @@ func SearchEffectiveness(cfg Config) (Figure, error) {
 // the mean search rate each scheme needs before the loss of its current
 // best pair first drops to the target. Runs that never reach a target
 // within the sweep budget are counted at the full budget (a conservative
-// lower bound, noted in EXPERIMENTS.md).
+// lower bound, noted in EXPERIMENTS.md). It is the non-cancellable
+// convenience form of CostEfficiencyContext.
 func CostEfficiency(cfg Config) (Figure, error) {
+	return CostEfficiencyContext(context.Background(), cfg)
+}
+
+// CostEfficiencyContext is CostEfficiency with cooperative cancellation
+// and first-class partial results: failed drops within the error budget
+// are excluded and reported in Figure.Failures.
+func CostEfficiencyContext(ctx context.Context, cfg Config) (Figure, error) {
 	cfg = cfg.WithDefaults()
 	t := cfg.totalPairs()
 	maxRate := cfg.SearchRates[len(cfg.SearchRates)-1]
@@ -367,7 +535,7 @@ func CostEfficiency(cfg Config) (Figure, error) {
 	for _, s := range cfg.Schemes {
 		accs[s] = make([]metrics.Accumulator, len(cfg.TargetsDB))
 	}
-	err := trajectories(cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
+	report, err := trajectories(ctx, cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
 		for i, target := range cfg.TargetsDB {
 			l := tr.FirstWithin(target)
 			if l < 0 {
@@ -381,9 +549,10 @@ func CostEfficiency(cfg Config) (Figure, error) {
 	}
 
 	fig := Figure{
-		Title:  "Cost efficiency: required search rate vs target loss",
-		XLabel: "target loss (dB)",
-		YLabel: "required search rate (L/T)",
+		Title:    "Cost efficiency: required search rate vs target loss",
+		XLabel:   "target loss (dB)",
+		YLabel:   "required search rate (L/T)",
+		Failures: report,
 	}
 	if cfg.Multipath {
 		fig.ID, fig.Title = "fig8", fig.Title+" — NYC multipath channel"
@@ -402,21 +571,29 @@ func CostEfficiency(cfg Config) (Figure, error) {
 	return fig, nil
 }
 
-// Generate regenerates a figure by paper number (5–8).
+// Generate regenerates a figure by paper number (5–8). It is the
+// non-cancellable convenience form of GenerateContext.
 func Generate(figure int, cfg Config) (Figure, error) {
+	return GenerateContext(context.Background(), figure, cfg)
+}
+
+// GenerateContext regenerates a figure by paper number (5–8) with
+// cooperative cancellation: cancelling ctx stops spawning new drops,
+// drains the in-flight workers, and returns the context's error.
+func GenerateContext(ctx context.Context, figure int, cfg Config) (Figure, error) {
 	switch figure {
 	case 5:
 		cfg.Multipath = false
-		return SearchEffectiveness(cfg)
+		return SearchEffectivenessContext(ctx, cfg)
 	case 6:
 		cfg.Multipath = true
-		return SearchEffectiveness(cfg)
+		return SearchEffectivenessContext(ctx, cfg)
 	case 7:
 		cfg.Multipath = false
-		return CostEfficiency(cfg)
+		return CostEfficiencyContext(ctx, cfg)
 	case 8:
 		cfg.Multipath = true
-		return CostEfficiency(cfg)
+		return CostEfficiencyContext(ctx, cfg)
 	default:
 		return Figure{}, fmt.Errorf("experiment: the paper has figures 5-8, not %d", figure)
 	}

@@ -1,0 +1,168 @@
+// Package faultinject is the fault-injection harness behind the
+// robustness test suite: it wraps a meas.Prober so that alignment
+// strategies, the covariance estimator, and the experiment engine can be
+// exercised against the failure modes a real sounding front end
+// produces — poisoned energies (NaN/Inf), heavy-tailed outliers,
+// dropped measurements, and mid-trajectory blockage — without touching
+// any production code path.
+//
+// Injection is deterministic: the fault stream is a pure function of
+// (Config.Seed, drop, scheme), so the experiment engine's worker-count
+// invariance guarantee holds under injection, and a failing fuzz case
+// replays from its coordinates alone.
+package faultinject
+
+import (
+	"math"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/covest"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/rng"
+)
+
+// Config selects which faults to inject and how often. Probabilities
+// are per pair measurement and are evaluated from one uniform draw per
+// measurement (in the order NaN, Inf, Outlier, Drop), so enabling one
+// fault never shifts the random stream of another.
+type Config struct {
+	// Seed drives the fault stream (independent of the simulation seed).
+	Seed int64
+	// PNaN is the probability a measurement's energy is replaced by NaN.
+	PNaN float64
+	// PInf is the probability a measurement's energy is replaced by +Inf.
+	PInf float64
+	// POutlier is the probability a measurement's energy is multiplied
+	// by OutlierScale — a heavy-tailed interference spike.
+	POutlier float64
+	// OutlierScale is the outlier multiplier. Default 1e9.
+	OutlierScale float64
+	// PDrop is the probability a measurement is erased: the receiver
+	// sees zero energy (sounding slot lost), not an invalid value.
+	PDrop float64
+	// BlockAfter, when positive, simulates a blocker moving into the
+	// path: from the BlockAfter-th measurement on, the signal part of
+	// every energy is attenuated by BlockLossDB.
+	BlockAfter int
+	// BlockLossDB is the blockage attenuation in dB. Default 30.
+	BlockLossDB float64
+}
+
+// Counts tallies the faults actually injected by one Sounder.
+type Counts struct {
+	// Measurements is the total number of pair measurements seen.
+	Measurements int
+	// NaN, Inf, Outlier and Dropped count each injected fault kind.
+	NaN, Inf, Outlier, Dropped int
+	// Blocked counts measurements taken under blockage attenuation.
+	Blocked int
+}
+
+// Total returns the number of corrupted measurements (blockage is
+// attenuation, not corruption, and is counted separately).
+func (c Counts) Total() int { return c.NaN + c.Inf + c.Outlier + c.Dropped }
+
+// Sounder wraps a meas.Prober and injects the configured faults into
+// pair measurements. Vector measurements, SNR ground truth, and all
+// metadata delegate untouched.
+type Sounder struct {
+	inner meas.Prober
+	cfg   Config
+	src   *rng.Source
+	n     int
+	// Counts tallies what was injected (readable after a run).
+	Counts Counts
+}
+
+// New wraps inner with the fault model of cfg, drawing the fault stream
+// from src. Use Wrap for the experiment-engine seam.
+func New(inner meas.Prober, cfg Config, src *rng.Source) *Sounder {
+	if cfg.OutlierScale == 0 {
+		cfg.OutlierScale = 1e9
+	}
+	if cfg.BlockLossDB == 0 {
+		cfg.BlockLossDB = 30
+	}
+	return &Sounder{inner: inner, cfg: cfg, src: src}
+}
+
+// Wrap returns a Config.WrapSounder hook for the experiment engine: each
+// (drop, scheme) cell gets an independent fault stream split from
+// cfg.Seed, keeping injection deterministic regardless of worker count.
+func Wrap(cfg Config) func(drop int, scheme string, p meas.Prober) meas.Prober {
+	return func(drop int, scheme string, p meas.Prober) meas.Prober {
+		return New(p, cfg, rng.New(cfg.Seed).SplitIndexed("faultinject-"+scheme, drop))
+	}
+}
+
+// Measure implements meas.Prober, applying at most one fault per
+// measurement plus blockage attenuation when active.
+func (s *Sounder) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	m := s.inner.Measure(txBeam, rxBeam, u, v)
+	s.n++
+	s.Counts.Measurements++
+
+	if s.cfg.BlockAfter > 0 && s.n > s.cfg.BlockAfter {
+		// Attenuate the signal part only: the unit noise floor of the
+		// normalized energy statistic survives blockage.
+		loss := math.Pow(10, -s.cfg.BlockLossDB/10)
+		if sig := m.Energy - 1; sig > 0 {
+			m.Energy = 1 + sig*loss
+		}
+		s.Counts.Blocked++
+	}
+
+	// One uniform draw per measurement keeps fault streams independent
+	// of which faults are enabled.
+	draw := s.src.Float64()
+	switch {
+	case draw < s.cfg.PNaN:
+		m.Energy = math.NaN()
+		s.Counts.NaN++
+	case draw < s.cfg.PNaN+s.cfg.PInf:
+		m.Energy = math.Inf(1)
+		s.Counts.Inf++
+	case draw < s.cfg.PNaN+s.cfg.PInf+s.cfg.POutlier:
+		m.Energy *= s.cfg.OutlierScale
+		s.Counts.Outlier++
+	case draw < s.cfg.PNaN+s.cfg.PInf+s.cfg.POutlier+s.cfg.PDrop:
+		m.Energy = 0
+		m.Z = 0
+		s.Counts.Dropped++
+	}
+	return m
+}
+
+// MeasureVector implements meas.Prober (delegates; the fault model
+// targets the analog pair-sounding path).
+func (s *Sounder) MeasureVector(txBeam int, u cmat.Vector) meas.VectorMeasurement {
+	return s.inner.MeasureVector(txBeam, u)
+}
+
+// TrueSNR implements meas.Prober.
+func (s *Sounder) TrueSNR(u, v cmat.Vector) float64 { return s.inner.TrueSNR(u, v) }
+
+// Gamma implements meas.Prober.
+func (s *Sounder) Gamma() float64 { return s.inner.Gamma() }
+
+// Snapshots implements meas.Prober.
+func (s *Sounder) Snapshots() int { return s.inner.Snapshots() }
+
+// SetSnapshots implements meas.Prober.
+func (s *Sounder) SetSnapshots(k int) { s.inner.SetSnapshots(k) }
+
+// Count implements meas.Prober.
+func (s *Sounder) Count() int { return s.inner.Count() }
+
+// DivergentOptions returns estimator options engineered to stress the
+// solver guardrails: an absurd initial step with FISTA's non-monotone
+// acceptance invites divergence that the covest guardrails must catch
+// (StopDiverged / recovery to the best iterate) instead of returning
+// garbage.
+func DivergentOptions(base covest.Options) covest.Options {
+	base.InitStep = 1e12
+	base.Accelerated = true
+	return base
+}
+
+var _ meas.Prober = (*Sounder)(nil)

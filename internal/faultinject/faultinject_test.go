@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/rng"
+)
+
+// stubProber returns a constant clean energy so tests can attribute
+// every change to the injector.
+type stubProber struct {
+	snapshots int
+	count     int
+}
+
+func (s *stubProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	s.count++
+	return meas.Measurement{TXBeam: txBeam, RXBeam: rxBeam, U: u, V: v, Z: 2, Energy: 5}
+}
+
+func (s *stubProber) MeasureVector(txBeam int, u cmat.Vector) meas.VectorMeasurement {
+	s.count++
+	return meas.VectorMeasurement{TXBeam: txBeam, U: u}
+}
+
+func (s *stubProber) TrueSNR(u, v cmat.Vector) float64 { return 4 }
+func (s *stubProber) Gamma() float64                   { return 1 }
+func (s *stubProber) Snapshots() int                   { return s.snapshots }
+func (s *stubProber) SetSnapshots(k int)               { s.snapshots = k }
+func (s *stubProber) Count() int                       { return s.count }
+
+func measureN(s *Sounder, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Measure(0, 0, nil, nil).Energy
+	}
+	return out
+}
+
+func TestFaultInjectEachFaultKind(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		check func(t *testing.T, energies []float64, c Counts)
+	}{
+		{"nan", Config{PNaN: 1}, func(t *testing.T, es []float64, c Counts) {
+			for _, e := range es {
+				if !math.IsNaN(e) {
+					t.Fatalf("energy %g, want NaN", e)
+				}
+			}
+			if c.NaN != len(es) {
+				t.Errorf("NaN count = %d, want %d", c.NaN, len(es))
+			}
+		}},
+		{"inf", Config{PInf: 1}, func(t *testing.T, es []float64, c Counts) {
+			for _, e := range es {
+				if !math.IsInf(e, 1) {
+					t.Fatalf("energy %g, want +Inf", e)
+				}
+			}
+			if c.Inf != len(es) {
+				t.Errorf("Inf count = %d, want %d", c.Inf, len(es))
+			}
+		}},
+		{"outlier", Config{POutlier: 1, OutlierScale: 100}, func(t *testing.T, es []float64, c Counts) {
+			for _, e := range es {
+				if e != 500 {
+					t.Fatalf("energy %g, want 500 (5 × scale 100)", e)
+				}
+			}
+			if c.Outlier != len(es) {
+				t.Errorf("Outlier count = %d, want %d", c.Outlier, len(es))
+			}
+		}},
+		{"drop", Config{PDrop: 1}, func(t *testing.T, es []float64, c Counts) {
+			for _, e := range es {
+				if e != 0 {
+					t.Fatalf("energy %g, want 0 (erasure)", e)
+				}
+			}
+			if c.Dropped != len(es) {
+				t.Errorf("Dropped count = %d, want %d", c.Dropped, len(es))
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(&stubProber{}, tc.cfg, rng.New(1))
+			es := measureN(s, 10)
+			tc.check(t, es, s.Counts)
+			if s.Counts.Measurements != 10 || s.Counts.Total() != 10 {
+				t.Errorf("counts = %+v, want 10 measurements, 10 faults", s.Counts)
+			}
+		})
+	}
+}
+
+func TestFaultInjectBlockageAttenuatesSignalOnly(t *testing.T) {
+	s := New(&stubProber{}, Config{BlockAfter: 3, BlockLossDB: 20}, rng.New(2))
+	es := measureN(s, 6)
+	for i, e := range es {
+		if i < 3 {
+			if e != 5 {
+				t.Fatalf("pre-blockage energy %g, want clean 5", e)
+			}
+			continue
+		}
+		// Signal part 4 attenuated by 20 dB on top of the unit noise
+		// floor: 1 + 4·10⁻² = 1.04.
+		if math.Abs(e-1.04) > 1e-12 {
+			t.Fatalf("blocked energy %g, want 1.04", e)
+		}
+	}
+	if s.Counts.Blocked != 3 {
+		t.Errorf("Blocked = %d, want 3", s.Counts.Blocked)
+	}
+	if s.Counts.Total() != 0 {
+		t.Errorf("blockage must not count as corruption: %+v", s.Counts)
+	}
+}
+
+func TestFaultInjectProbabilityZeroIsTransparent(t *testing.T) {
+	s := New(&stubProber{}, Config{}, rng.New(3))
+	for _, e := range measureN(s, 20) {
+		if e != 5 {
+			t.Fatalf("energy %g changed by a zero-probability injector", e)
+		}
+	}
+	if s.Counts.Total() != 0 {
+		t.Errorf("faults injected at probability zero: %+v", s.Counts)
+	}
+}
+
+func TestFaultInjectWrapDeterministicPerCell(t *testing.T) {
+	cfg := Config{Seed: 9, PNaN: 0.2, POutlier: 0.3, PDrop: 0.1, OutlierScale: 7}
+	wrap := Wrap(cfg)
+	run := func(drop int, scheme string) []float64 {
+		p := wrap(drop, scheme, &stubProber{})
+		return measureN(p.(*Sounder), 50)
+	}
+	a, b := run(2, "proposed"), run(2, "proposed")
+	for i := range a {
+		same := a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i]))
+		if !same {
+			t.Fatalf("fault stream differs at %d for identical (drop, scheme): %g vs %g", i, a[i], b[i])
+		}
+	}
+	// Distinct cells must get distinct streams.
+	c := run(3, "proposed")
+	identical := true
+	for i := range a {
+		if a[i] != c[i] && !(math.IsNaN(a[i]) && math.IsNaN(c[i])) {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("different drops produced identical fault streams")
+	}
+}
+
+func TestFaultInjectDelegatesMetadata(t *testing.T) {
+	inner := &stubProber{}
+	s := New(inner, Config{}, rng.New(4))
+	s.SetSnapshots(7)
+	if got := s.Snapshots(); got != 7 {
+		t.Errorf("Snapshots = %d, want 7", got)
+	}
+	if s.Gamma() != 1 || s.TrueSNR(nil, nil) != 4 {
+		t.Error("metadata delegation broken")
+	}
+	s.Measure(0, 0, nil, nil)
+	s.MeasureVector(0, nil)
+	if s.Count() != inner.count {
+		t.Errorf("Count = %d, want inner %d", s.Count(), inner.count)
+	}
+}

@@ -43,6 +43,29 @@ func (m Measurement) SNREstimate() float64 {
 	return s
 }
 
+// Prober is the measurement surface an alignment strategy consumes: a
+// beam-pair sounder plus the metadata strategies key their estimators
+// off. *Sounder is the production implementation; wrappers (e.g. the
+// fault-injection sounder used by the robustness test harness) can
+// interpose on every measurement while delegating the rest.
+type Prober interface {
+	// Measure sounds the pair (u, v) with fresh fading per snapshot.
+	Measure(txBeam, rxBeam int, u, v cmat.Vector) Measurement
+	// MeasureVector takes one full-vector (digital receiver) snapshot.
+	MeasureVector(txBeam int, u cmat.Vector) VectorMeasurement
+	// TrueSNR returns the ground-truth expected SNR of a pair (for the
+	// metric layer only; strategies must not call it).
+	TrueSNR(u, v cmat.Vector) float64
+	// Gamma returns the pre-beamforming SNR (linear).
+	Gamma() float64
+	// Snapshots returns the per-measurement snapshot count.
+	Snapshots() int
+	// SetSnapshots sets the per-measurement snapshot count.
+	SetSnapshots(k int)
+	// Count returns the number of measurements taken so far.
+	Count() int
+}
+
 // Sounder performs beam-pair measurements over a channel. It owns the
 // measurement-noise and fading randomness so that independent strategy
 // runs over the same channel can be made statistically identical.
@@ -174,3 +197,5 @@ func (s *Sounder) MeasureVector(txBeam int, u cmat.Vector) VectorMeasurement {
 func (s *Sounder) TrueSNR(u, v cmat.Vector) float64 {
 	return s.gamma * s.ch.MeanPairGain(u, v)
 }
+
+var _ Prober = (*Sounder)(nil)
