@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"mmwalign"
+	"mmwalign/internal/obs"
 )
 
 func main() {
@@ -38,6 +41,9 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print the loss trajectory")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		maxFailed = flag.Int("max-failed-drops", 0, "retry budget: re-run a failed alignment up to this many times with fresh randomness")
+		progress  = flag.Bool("progress", true, "print a live heartbeat on stderr while a long run is in flight")
+		counters  = flag.Bool("counters", false, "print phase timings, counters and solver aggregates to stderr and publish them via expvar")
+		pprofPfx  = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	)
 	flag.Parse()
 
@@ -46,6 +52,57 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *pprofPfx != "" {
+		cf, err := os.Create(*pprofPfx + ".cpu.pprof")
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			hf, err := os.Create(*pprofPfx + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "beamalign: create heap profile:", err)
+				return
+			}
+			if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "beamalign: write heap profile:", err)
+			}
+			hf.Close()
+		}()
+	}
+
+	// The recorder rides the context into the alignment strategies; the
+	// snapshot is safe to read concurrently, which is what the heartbeat
+	// goroutine does for runs long enough to wonder about.
+	rec := obs.New()
+	ctx = obs.Into(ctx, rec)
+	if *counters {
+		obs.Publish("beamalign", rec)
+	}
+	if *progress {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					snap := rec.Snapshot()
+					fmt.Fprintf(os.Stderr, "beamalign: %d estimations, %v elapsed\n",
+						snap.Solver.Estimations, time.Duration(snap.ElapsedNS).Round(100*time.Millisecond))
+				}
+			}
+		}()
 	}
 
 	spec := mmwalign.LinkSpec{Seed: *seed, SNRdB: *snrDB, Snapshots: *snapshots}
@@ -83,6 +140,12 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "beamalign: attempt %d failed (%v), retrying\n", attempt+1, err)
+	}
+
+	if *counters {
+		if err := rec.Snapshot().WriteText(os.Stderr); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("scheme:        %s\n", res.Scheme)

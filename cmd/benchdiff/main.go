@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -167,23 +168,23 @@ func readBaseline(dir, name string) (Baseline, error) {
 
 // diff prints a comparison and reports whether the current run is within
 // tolerance of the baseline.
-func diff(out *os.File, base, cur Baseline, nsTol, allocTol, metRel, metAbs float64) bool {
+func diff(out io.Writer, base, cur Baseline, nsTol, allocTol, metRel, metAbs float64) bool {
 	ok := true
 	fmt.Fprintf(out, "%s:\n", base.Name)
-	nsDelta := rel(cur.NsPerOp, base.NsPerOp)
-	fmt.Fprintf(out, "  ns/op     %12.0f -> %12.0f  (%+.1f%%)%s\n",
-		base.NsPerOp, cur.NsPerOp, 100*nsDelta, verdict(nsDelta > nsTol))
-	if nsDelta > nsTol {
+	nsDelta := relDelta(cur.NsPerOp, base.NsPerOp)
+	fmt.Fprintf(out, "  ns/op     %12.0f -> %12.0f  (%s)%s\n",
+		base.NsPerOp, cur.NsPerOp, nsDelta, verdict(nsDelta.exceeds(nsTol)))
+	if nsDelta.exceeds(nsTol) {
 		ok = false
 	}
-	allocDelta := rel(float64(cur.AllocsPerOp), float64(base.AllocsPerOp))
-	fmt.Fprintf(out, "  allocs/op %12d -> %12d  (%+.1f%%)%s\n",
-		base.AllocsPerOp, cur.AllocsPerOp, 100*allocDelta, verdict(allocDelta > allocTol))
-	if allocDelta > allocTol {
+	allocDelta := relDelta(float64(cur.AllocsPerOp), float64(base.AllocsPerOp))
+	fmt.Fprintf(out, "  allocs/op %12d -> %12d  (%s)%s\n",
+		base.AllocsPerOp, cur.AllocsPerOp, allocDelta, verdict(allocDelta.exceeds(allocTol)))
+	if allocDelta.exceeds(allocTol) {
 		ok = false
 	}
-	fmt.Fprintf(out, "  B/op      %12d -> %12d  (%+.1f%%)\n",
-		base.BytesPerOp, cur.BytesPerOp, 100*rel(float64(cur.BytesPerOp), float64(base.BytesPerOp)))
+	fmt.Fprintf(out, "  B/op      %12d -> %12d  (%s)\n",
+		base.BytesPerOp, cur.BytesPerOp, relDelta(float64(cur.BytesPerOp), float64(base.BytesPerOp)))
 
 	keys := make([]string, 0, len(base.Metrics))
 	for k := range base.Metrics {
@@ -208,15 +209,50 @@ func diff(out *os.File, base, cur Baseline, nsTol, allocTol, metRel, metAbs floa
 	return ok
 }
 
-// rel returns (cur-base)/base, guarding the zero baseline.
-func rel(cur, base float64) float64 {
-	if base == 0 {
-		if cur == 0 {
-			return 0
-		}
-		return math.Inf(1)
+// delta is the baseline→current change of one benchmark quantity. A
+// zero baseline has no meaningful relative change — a zero-alloc hot
+// path (the solver since the allocation-free rewrite) that starts
+// allocating again would otherwise print "+Inf%" — so the zero→nonzero
+// case is carried explicitly and reported as an absolute regression.
+type delta struct {
+	// rel is (cur-base)/base, valid only when !fromZero.
+	rel float64
+	// fromZero marks a nonzero current value against a zero baseline.
+	fromZero bool
+	// abs is cur-base, used to report fromZero regressions.
+	abs float64
+}
+
+// relDelta compares cur against base; 0→0 is a clean 0% change, 0→k a
+// fromZero regression. The result is never Inf or NaN for finite
+// inputs.
+func relDelta(cur, base float64) delta {
+	d := delta{abs: cur - base}
+	switch {
+	case base != 0:
+		d.rel = (cur - base) / base
+	case cur != 0:
+		d.fromZero = true
 	}
-	return (cur - base) / base
+	return d
+}
+
+// exceeds reports whether the change is a regression beyond tol. Any
+// growth from a zero baseline is a regression: no finite tolerance can
+// express "some fraction of zero".
+func (d delta) exceeds(tol float64) bool {
+	if d.fromZero {
+		return true
+	}
+	return d.rel > tol
+}
+
+// String renders the change for the diff table.
+func (d delta) String() string {
+	if d.fromZero {
+		return fmt.Sprintf("%+g from zero baseline", d.abs)
+	}
+	return fmt.Sprintf("%+.1f%%", 100*d.rel)
 }
 
 // metricString renders the fidelity metrics for -record output.

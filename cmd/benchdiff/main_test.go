@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRelDeltaZeroBaseline(t *testing.T) {
+	// 0→0 is a clean non-regression; 0→k is a regression reported by its
+	// absolute delta. Neither may produce Inf or NaN anywhere.
+	zz := relDelta(0, 0)
+	if zz.fromZero || zz.exceeds(0.10) {
+		t.Errorf("0→0 flagged as regression: %+v", zz)
+	}
+	if got := zz.String(); got != "+0.0%" {
+		t.Errorf("0→0 renders as %q, want +0.0%%", got)
+	}
+
+	zk := relDelta(3, 0)
+	if !zk.fromZero || !zk.exceeds(math.MaxFloat64) {
+		t.Errorf("0→3 not flagged as regression: %+v", zk)
+	}
+	if got := zk.String(); !strings.Contains(got, "from zero baseline") || strings.Contains(got, "Inf") {
+		t.Errorf("0→3 renders as %q", got)
+	}
+
+	for _, d := range []delta{zz, zk, relDelta(5, 4), relDelta(0, 4)} {
+		if math.IsInf(d.rel, 0) || math.IsNaN(d.rel) || math.IsInf(d.abs, 0) || math.IsNaN(d.abs) {
+			t.Errorf("delta carries non-finite values: %+v", d)
+		}
+	}
+	if d := relDelta(0, 4); d.rel != -1 || d.exceeds(0.10) {
+		t.Errorf("k→0 improvement misreported: %+v", d)
+	}
+}
+
+func TestDiffZeroBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := Baseline{
+		Name:        "estimate",
+		Iterations:  100,
+		NsPerOp:     1000,
+		AllocsPerOp: 0, // the hot path's real baseline since the zero-alloc rewrite
+		BytesPerOp:  0,
+		Metrics:     map[string]float64{"objective": 1.25},
+	}
+	if err := writeBaseline(dir, base); err != nil {
+		t.Fatalf("writeBaseline: %v", err)
+	}
+	back, err := readBaseline(dir, "estimate")
+	if err != nil {
+		t.Fatalf("readBaseline: %v", err)
+	}
+	if back.Name != base.Name || back.AllocsPerOp != 0 || back.Metrics["objective"] != 1.25 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// Unchanged zero allocations must pass.
+	var buf bytes.Buffer
+	cur := back
+	cur.NsPerOp = 1100
+	if !diff(&buf, back, cur, 0.25, 0.10, 0.05, 0.05) {
+		t.Errorf("0→0 allocs failed the diff:\n%s", buf.String())
+	}
+
+	// Allocations appearing on a zero baseline must fail, with the
+	// absolute delta in the report instead of Inf.
+	buf.Reset()
+	cur.AllocsPerOp = 3
+	if diff(&buf, back, cur, 0.25, 0.10, 0.05, 0.05) {
+		t.Errorf("0→3 allocs passed the diff:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "from zero baseline") || !strings.Contains(out, "FAIL") {
+		t.Errorf("missing zero-baseline failure report:\n%s", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("diff printed non-finite deltas:\n%s", out)
+	}
+}

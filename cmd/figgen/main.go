@@ -5,52 +5,75 @@
 //
 //	figgen -fig 5 -drops 100 -out fig5.csv
 //	figgen -all -drops 100 -outdir results/
+//	figgen -fig 5 -strict -inject nan=0.3 -max-failed-drops 2
+//	figgen -fig 7 -pprof prof/fig7 -counters
 //
 // The output CSV has one row per sweep point and one column per scheme;
 // the same data is printed as an aligned table and an ASCII plot on
 // stdout so the figure shape can be checked without leaving the
-// terminal.
+// terminal. A machine-readable run manifest
+// (mmwalign/run-manifest/v1) is written next to each CSV; progress and
+// failure diagnostics go to stderr so stdout stays parseable.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"mmwalign/internal/cmat"
 	"mmwalign/internal/experiment"
+	"mmwalign/internal/faultinject"
+	"mmwalign/internal/meas"
 	"mmwalign/internal/metrics"
+	"mmwalign/internal/obs"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig       = flag.Int("fig", 0, "paper figure to regenerate (5-8)")
-		all       = flag.Bool("all", false, "regenerate all figures")
-		drops     = flag.Int("drops", 100, "independent channel drops per point")
-		seed      = flag.Int64("seed", 1, "random seed")
-		gammaDB   = flag.Float64("gamma", 0, "pre-beamforming SNR Es/N0 in dB")
-		snapshots = flag.Int("snapshots", 4, "fading+noise snapshots per measurement")
-		j         = flag.Int("j", 8, "measurements per TX slot (proposed scheme)")
-		mu        = flag.Float64("mu", 1, "nuclear-norm regularization weight")
-		schemes   = flag.String("schemes", "", "comma-separated scheme list (default: random,scan,proposed)")
-		extended  = flag.Bool("extended", false, "include the extension schemes (two-sided, local-refine, hierarchical)")
-		out       = flag.String("out", "", "CSV output path (single figure; default stdout only)")
-		outdir    = flag.String("outdir", ".", "output directory for -all")
-		jsonOut   = flag.Bool("json", false, "also write a .json next to each CSV")
-		timeout   = flag.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
-		maxFailed = flag.Int("max-failed-drops", 0, "error budget: drops that may fail while still producing a figure (failures are excluded and reported)")
+		fig        = fs.Int("fig", 0, "paper figure to regenerate (5-8)")
+		all        = fs.Bool("all", false, "regenerate all figures")
+		drops      = fs.Int("drops", 100, "independent channel drops per point")
+		seed       = fs.Int64("seed", 1, "random seed")
+		gammaDB    = fs.Float64("gamma", 0, "pre-beamforming SNR Es/N0 in dB")
+		snapshots  = fs.Int("snapshots", 4, "fading+noise snapshots per measurement")
+		j          = fs.Int("j", 8, "measurements per TX slot (proposed scheme)")
+		mu         = fs.Float64("mu", 1, "nuclear-norm regularization weight")
+		schemes    = fs.String("schemes", "", "comma-separated scheme list (default: random,scan,proposed)")
+		extended   = fs.Bool("extended", false, "include the extension schemes (two-sided, local-refine, hierarchical)")
+		out        = fs.String("out", "", "CSV output path (single figure; default stdout only)")
+		outdir     = fs.String("outdir", ".", "output directory for -all")
+		jsonOut    = fs.Bool("json", false, "also write a .json next to each CSV")
+		timeout    = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
+		maxFailed  = fs.Int("max-failed-drops", 0, "error budget: drops that may fail while still producing a figure (failures are excluded and reported)")
+		strict     = fs.Bool("strict", false, "exit non-zero when any drop failed, even within the error budget")
+		progress   = fs.Bool("progress", true, "report live per-cell progress on stderr (requires -instrument)")
+		instrument = fs.Bool("instrument", true, "collect phase timings, counters and solver aggregates")
+		manifest   = fs.Bool("manifest", true, "write a <fig>.manifest.json run manifest next to each CSV")
+		counters   = fs.Bool("counters", false, "print the instrumentation snapshot to stderr and publish it via expvar")
+		pprofPfx   = fs.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
+		inject     = fs.String("inject", "", "fault-injection spec, e.g. nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -77,30 +100,85 @@ func run() error {
 	} else if *extended {
 		cfg.Schemes = []string{"random", "scan", "proposed", "two-sided", "local-refine", "hierarchical"}
 	}
+	if *inject != "" {
+		wrap, err := parseInjectSpec(*inject)
+		if err != nil {
+			return err
+		}
+		cfg.WrapSounder = wrap
+	}
+
+	if *pprofPfx != "" {
+		cf, err := os.Create(*pprofPfx + ".cpu.pprof")
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			hf, err := os.Create(*pprofPfx + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(stderr, "figgen: create heap profile:", err)
+				return
+			}
+			if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+				fmt.Fprintln(stderr, "figgen: write heap profile:", err)
+			}
+			hf.Close()
+		}()
+	}
 
 	figs := []int{*fig}
 	if *all {
 		figs = []int{5, 6, 7, 8}
 	}
+	anyFailures := false
 	for _, f := range figs {
+		// One recorder per figure so each manifest carries only its own
+		// run's timings and counters.
+		fctx := ctx
+		var rec *obs.Recorder
+		if *instrument {
+			rec = obs.New()
+			if *progress {
+				rec.SetProgress(obs.ProgressPrinter(stderr, fmt.Sprintf("fig%d", f), time.Second))
+			}
+			if *counters {
+				obs.Publish(fmt.Sprintf("figgen.fig%d", f), rec)
+			}
+			fctx = obs.Into(ctx, rec)
+		}
+
 		start := time.Now()
-		result, err := experiment.GenerateContext(ctx, f, cfg)
+		result, err := experiment.GenerateContext(fctx, f, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("== %s (%s) — %d drops, %v ==\n", result.ID, result.Title, *drops, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "== %s (%s) — %d drops, %v ==\n", result.ID, result.Title, *drops, time.Since(start).Round(time.Millisecond))
 		if result.Failures != nil {
-			fmt.Printf("!! %d of %d drops excluded under the error budget:\n",
-				result.Failures.FailedDrops, result.Failures.TotalDrops)
+			anyFailures = true
+			// Failure diagnostics belong on stderr: stdout carries the
+			// figure tables that downstream tooling parses.
+			fmt.Fprintf(stderr, "!! %s: %d of %d drops excluded under the error budget:\n",
+				result.ID, result.Failures.FailedDrops, result.Failures.TotalDrops)
 			for _, fl := range result.Failures.Failures {
-				fmt.Printf("!!   drop %d scheme %s: %v\n", fl.Drop, fl.Scheme, fl.Err)
+				fmt.Fprintf(stderr, "!!   drop %d scheme %s: %v\n", fl.Drop, fl.Scheme, fl.Err)
 			}
 		}
-		if err := metrics.WriteTable(os.Stdout, result.XLabel, result.Series); err != nil {
+		if err := metrics.WriteTable(stdout, result.XLabel, result.Series); err != nil {
 			return err
 		}
-		if err := metrics.PlotASCII(os.Stdout, result.YLabel+" vs "+result.XLabel, result.Series, 64, 14); err != nil {
+		if err := metrics.PlotASCII(stdout, result.YLabel+" vs "+result.XLabel, result.Series, 64, 14); err != nil {
 			return err
+		}
+		if *counters && rec != nil {
+			if err := rec.Snapshot().WriteText(stderr); err != nil {
+				return err
+			}
 		}
 
 		path := *out
@@ -118,7 +196,27 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("write %s: %w", path, err)
 		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+
+		if *manifest && result.Manifest != nil {
+			result.Manifest.Version = versionString()
+			result.Manifest.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+			mpath := strings.TrimSuffix(path, filepath.Ext(path)) + ".manifest.json"
+			mf, err := os.Create(mpath)
+			if err != nil {
+				return fmt.Errorf("create %s: %w", mpath, err)
+			}
+			// WriteJSON self-validates: a manifest that violates its own
+			// schema fails the run rather than poisoning the audit trail.
+			err = result.Manifest.WriteJSON(mf)
+			if cerr := mf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("write %s: %w", mpath, err)
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", mpath)
+		}
 
 		if *jsonOut {
 			jpath := strings.TrimSuffix(path, filepath.Ext(path)) + ".json"
@@ -133,11 +231,101 @@ func run() error {
 			if err != nil {
 				return fmt.Errorf("write %s: %w", jpath, err)
 			}
-			fmt.Printf("wrote %s\n", jpath)
+			fmt.Fprintf(stdout, "wrote %s\n", jpath)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+	}
+	if *strict && anyFailures {
+		return fmt.Errorf("-strict: figure completed with failed drops")
 	}
 	return nil
+}
+
+// parseInjectSpec converts a "key=value,..." fault spec into a
+// WrapSounder hook. Probability keys nan, inf, outlier and drop are per
+// measurement; block-after and seed configure blockage and the fault
+// stream; panic-drop=N panics on drop N's first measurement — the knob
+// the CI strict-mode smoke uses to produce a genuinely failed drop.
+func parseInjectSpec(spec string) (func(drop int, scheme string, p meas.Prober) meas.Prober, error) {
+	var fcfg faultinject.Config
+	panicDrop := -1
+	for _, kv := range splitComma(spec) {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("inject: %q is not key=value", kv)
+		}
+		switch key {
+		case "nan", "inf", "outlier", "drop":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("inject: %s=%q is not a probability", key, val)
+			}
+			switch key {
+			case "nan":
+				fcfg.PNaN = p
+			case "inf":
+				fcfg.PInf = p
+			case "outlier":
+				fcfg.POutlier = p
+			case "drop":
+				fcfg.PDrop = p
+			}
+		case "block-after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("inject: block-after=%q is not a count", val)
+			}
+			fcfg.BlockAfter = n
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("inject: seed=%q is not an integer", val)
+			}
+			fcfg.Seed = s
+		case "panic-drop":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("inject: panic-drop=%q is not a drop index", val)
+			}
+			panicDrop = n
+		default:
+			return nil, fmt.Errorf("inject: unknown key %q", key)
+		}
+	}
+	wrap := faultinject.Wrap(fcfg)
+	return func(drop int, scheme string, p meas.Prober) meas.Prober {
+		p = wrap(drop, scheme, p)
+		if drop == panicDrop {
+			return &panicProber{Prober: p}
+		}
+		return p
+	}, nil
+}
+
+// panicProber crashes on the first pair measurement of its drop. The
+// stochastic faults degrade gracefully inside the strategies, so this
+// is the only injection that exercises the failed-drop path end to end.
+type panicProber struct {
+	meas.Prober
+}
+
+func (p *panicProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	panic("figgen: injected measurement panic (-inject panic-drop)")
+}
+
+// versionString identifies the source tree for the manifest: build-info
+// VCS stamping when the binary carries it, git describe as the dev-tree
+// fallback.
+func versionString() string {
+	if v := experiment.VersionString(); v != "" {
+		return v
+	}
+	if out, err := exec.Command("git", "describe", "--always", "--dirty").Output(); err == nil {
+		if v := strings.TrimSpace(string(out)); v != "" {
+			return v
+		}
+	}
+	return "unknown"
 }
 
 func splitComma(s string) []string {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmwalign/internal/obs"
+)
+
+func TestStrictExitsNonZeroOnInjectedDropFailure(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-fig", "5", "-drops", "2", "-schemes", "random,scan",
+		"-outdir", dir, "-max-failed-drops", "1",
+		"-inject", "panic-drop=1", "-strict", "-progress=false",
+	}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("-strict accepted a run with failed drops")
+	}
+	if !strings.Contains(err.Error(), "strict") {
+		t.Errorf("error %q does not mention -strict", err)
+	}
+	// Failure diagnostics go to stderr, never stdout.
+	if strings.Contains(stdout.String(), "!!") {
+		t.Error("failure diagnostics leaked to stdout")
+	}
+	if !strings.Contains(stderr.String(), "!!") || !strings.Contains(stderr.String(), "injected measurement panic") {
+		t.Errorf("stderr lacks attributed failure diagnostics:\n%s", stderr.String())
+	}
+	// The figure itself still completed: CSV and manifest were written,
+	// and the manifest records the failure.
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m.Failures == nil || m.Failures.FailedDrops != 1 {
+		t.Errorf("manifest failure summary = %+v, want 1 failed drop", m.Failures)
+	}
+	if !m.Instrumented || len(m.Phases) == 0 {
+		t.Errorf("manifest not instrumented: %+v", m)
+	}
+}
+
+func TestSameSeedSurvivesStrictWithoutInjection(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-fig", "5", "-drops", "2", "-schemes", "random,scan",
+		"-outdir", dir, "-strict", "-progress=false",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("clean -strict run failed: %v", err)
+	}
+	if strings.Contains(stderr.String(), "!!") {
+		t.Errorf("clean run produced failure diagnostics:\n%s", stderr.String())
+	}
+}
+
+func TestInstrumentationIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	on := filepath.Join(dir, "on.csv")
+	off := filepath.Join(dir, "off.csv")
+	common := []string{"-fig", "5", "-drops", "2", "-schemes", "random,scan,proposed", "-manifest=false", "-progress=false"}
+	var sink bytes.Buffer
+	if err := run(append(common, "-out", on, "-instrument=true"), &sink, &sink); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if err := run(append(common, "-out", off, "-instrument=false"), &sink, &sink); err != nil {
+		t.Fatalf("uninstrumented run: %v", err)
+	}
+	a, err := os.ReadFile(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("CSV differs with instrumentation on vs off:\n--- on ---\n%s\n--- off ---\n%s", a, b)
+	}
+}
+
+func TestParseInjectSpecRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nan", "nan=2", "nan=-0.1", "unknown=1", "panic-drop=x", "panic-drop=-1", "block-after=no", "seed=1.5",
+	} {
+		if _, err := parseInjectSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if _, err := parseInjectSpec("nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2"); err != nil {
+		t.Errorf("full valid spec rejected: %v", err)
+	}
+}

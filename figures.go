@@ -2,9 +2,12 @@ package mmwalign
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"mmwalign/internal/experiment"
+	"mmwalign/internal/obs"
 )
 
 // FigureSeries is one curve of a reproduced paper figure.
@@ -34,6 +37,114 @@ type FigureResult struct {
 	FailedDrops int
 	// FailureMessages describes each excluded (drop, scheme) cell.
 	FailureMessages []string
+	// Manifest records how the figure was produced: the resolved
+	// configuration, seed, toolchain, and — when
+	// ReproduceOptions.Instrument is set — per-phase timings, event
+	// counters and covariance-solver aggregates.
+	Manifest *RunManifest
+}
+
+// RunPhase is one timed phase of a reproduction run (channel
+// generation, sounding, estimation, selection, oracle scoring).
+type RunPhase struct {
+	// Name is the phase name.
+	Name string
+	// Count is the number of timed spans folded in.
+	Count int64
+	// TotalNS is the accumulated wall-clock time in nanoseconds.
+	TotalNS int64
+}
+
+// RunSolverStats aggregates the covariance-solver cost of a run.
+type RunSolverStats struct {
+	// Estimations is the number of covariance solves.
+	Estimations int64
+	// Iters totals proximal steps across all solves; EigenDecomps,
+	// ObjectiveEvals, GradientEvals and Backtracks total the per-solve
+	// cost counters, and Restarts the divergence-forced momentum
+	// restarts.
+	Iters          int64
+	EigenDecomps   int64
+	ObjectiveEvals int64
+	GradientEvals  int64
+	Backtracks     int64
+	Restarts       int64
+	// Recovered and Degraded count solves that ended through a solver
+	// guardrail.
+	Recovered int64
+	Degraded  int64
+	// MaxRank and MaxSubspaceDim are the largest estimate rank and
+	// working-subspace dimension seen.
+	MaxRank        int
+	MaxSubspaceDim int
+}
+
+// RunManifest is the machine-readable record of one figure
+// reproduction. Its serialized form (WriteJSON) follows the
+// "mmwalign/run-manifest/v1" schema that cmd/figgen writes next to
+// each CSV.
+type RunManifest struct {
+	// Schema identifies the manifest document format.
+	Schema string
+	// Figure and Title name the reproduced figure.
+	Figure string
+	Title  string
+	// Seed is the root RNG seed the run derived everything from.
+	Seed int64
+	// GoVersion is the toolchain that produced the figure.
+	GoVersion string
+	// ConfigJSON is the fully defaulted experiment configuration.
+	ConfigJSON json.RawMessage
+	// Instrumented reports whether phase timings, counters and solver
+	// aggregates were collected (ReproduceOptions.Instrument).
+	Instrumented bool
+	// ElapsedNS is the total run wall-clock time in nanoseconds.
+	ElapsedNS int64
+	// Phases, Counters and Solver hold the instrumentation results
+	// (empty unless Instrumented).
+	Phases   []RunPhase
+	Counters map[string]int64
+	Solver   RunSolverStats
+
+	raw *obs.Manifest
+}
+
+// WriteJSON writes the manifest in its canonical schema-validated JSON
+// form.
+func (m *RunManifest) WriteJSON(w io.Writer) error {
+	if m == nil || m.raw == nil {
+		return fmt.Errorf("mmwalign: empty run manifest")
+	}
+	return m.raw.WriteJSON(w)
+}
+
+// newRunManifest mirrors the engine's manifest into the public type.
+func newRunManifest(src *obs.Manifest) *RunManifest {
+	if src == nil {
+		return nil
+	}
+	m := &RunManifest{
+		Schema:       src.Schema,
+		Figure:       src.Figure,
+		Title:        src.Title,
+		Seed:         src.Seed,
+		GoVersion:    src.GoVersion,
+		ConfigJSON:   append(json.RawMessage(nil), src.Config...),
+		Instrumented: src.Instrumented,
+		ElapsedNS:    src.ElapsedNS,
+		Solver:       RunSolverStats(src.Solver),
+		raw:          src,
+	}
+	for _, p := range src.Phases {
+		m.Phases = append(m.Phases, RunPhase(p))
+	}
+	if len(src.Counters) > 0 {
+		m.Counters = make(map[string]int64, len(src.Counters))
+		for k, v := range src.Counters {
+			m.Counters[k] = v
+		}
+	}
+	return m
 }
 
 // ReproduceOptions tunes a figure reproduction beyond the paper's
@@ -43,6 +154,16 @@ type ReproduceOptions struct {
 	// still producing a figure. The default 0 is strict — any failure
 	// aborts the reproduction with an attributed error.
 	MaxFailedDrops int
+	// Instrument enables phase timers, event counters and solver
+	// aggregation for the run; the results appear on
+	// FigureResult.Manifest. Instrumentation is passive — the figure's
+	// numbers are identical either way — and costs a few percent of
+	// wall-clock time.
+	Instrument bool
+	// Progress, when non-nil, receives a live event after each completed
+	// (drop, scheme) cell. It is called from worker goroutines and must
+	// be safe for concurrent use. Requires Instrument.
+	Progress func(done, total, failed int)
 }
 
 // ReproduceFigure regenerates one of the paper's result figures (5–8)
@@ -72,6 +193,16 @@ func ReproduceFigureContext(ctx context.Context, figure, drops int, seed int64, 
 	if len(opts) == 1 {
 		opt = opts[0]
 	}
+	if opt.Instrument {
+		rec := obs.New()
+		if opt.Progress != nil {
+			fn := opt.Progress
+			rec.SetProgress(func(p obs.Progress) {
+				fn(int(p.Done), int(p.Total), int(p.Failed))
+			})
+		}
+		ctx = obs.Into(ctx, rec)
+	}
 	fig, err := experiment.GenerateContext(ctx, figure, experiment.Config{
 		Seed:           seed,
 		Drops:          drops,
@@ -99,5 +230,6 @@ func ReproduceFigureContext(ctx context.Context, figure, drops int, seed int64, 
 				fmt.Sprintf("drop %d scheme %s: %v", f.Drop, f.Scheme, f.Err))
 		}
 	}
+	out.Manifest = newRunManifest(fig.Manifest)
 	return out, nil
 }

@@ -1,6 +1,11 @@
 package mmwalign
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
 
 func TestReproduceFigureValidation(t *testing.T) {
 	if _, err := ReproduceFigure(5, 0, 1); err == nil {
@@ -50,5 +55,59 @@ func TestReproduceFigureDeterministic(t *testing.T) {
 				t.Fatal("identical inputs produced different figures")
 			}
 		}
+	}
+}
+
+func TestReproduceFigureInstrumented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction in -short mode")
+	}
+	var mu sync.Mutex
+	var events int
+	fig, err := ReproduceFigureContext(context.Background(), 5, 2, 1, ReproduceOptions{
+		Instrument: true,
+		Progress: func(done, total, failed int) {
+			mu.Lock()
+			events++
+			mu.Unlock()
+			if done < 1 || done > total || failed > done {
+				t.Errorf("inconsistent progress event: %d/%d, %d failed", done, total, failed)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fig.Manifest
+	if m == nil {
+		t.Fatal("instrumented reproduction has no manifest")
+	}
+	if !m.Instrumented || len(m.Phases) == 0 || m.Solver.Estimations == 0 {
+		t.Errorf("manifest lacks instrumentation: %+v", m)
+	}
+	if m.Figure != "fig5" || m.Seed != 1 || len(m.ConfigJSON) == 0 {
+		t.Errorf("manifest identity wrong: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("mmwalign/run-manifest/v1")) {
+		t.Error("serialized manifest lacks the schema marker")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events == 0 {
+		t.Error("no progress events delivered")
+	}
+
+	// Without Instrument the manifest still identifies the run but stays
+	// uninstrumented.
+	plain, err := ReproduceFigure(5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Manifest == nil || plain.Manifest.Instrumented {
+		t.Errorf("uninstrumented manifest = %+v", plain.Manifest)
 	}
 }

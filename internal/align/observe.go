@@ -1,0 +1,25 @@
+package align
+
+import (
+	"mmwalign/internal/covest"
+	"mmwalign/internal/obs"
+)
+
+// solveSample flattens one covest.Stats into the observability layer's
+// solver sample, so the run manifest can aggregate proximal iterations,
+// eigendecomposition counts, divergence restarts and guardrail
+// recoveries across every estimation of a run.
+func solveSample(st covest.Stats) obs.SolveSample {
+	return obs.SolveSample{
+		Iters:          st.Iters,
+		EigenDecomps:   st.EigenDecomps,
+		ObjectiveEvals: st.ObjectiveEvals,
+		GradientEvals:  st.GradientEvals,
+		Backtracks:     st.Backtracks,
+		Restarts:       st.Diagnostics.DivergenceRestarts,
+		Rank:           st.Rank,
+		SubspaceDim:    st.SubspaceDim,
+		Recovered:      st.Diagnostics.Recovered,
+		Degraded:       st.Diagnostics.Degraded(),
+	}
+}

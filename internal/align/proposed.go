@@ -9,6 +9,7 @@ import (
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/covest"
 	"mmwalign/internal/meas"
+	runobs "mmwalign/internal/obs"
 )
 
 // ProposedConfig configures the paper's learning-based strategy.
@@ -81,6 +82,12 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 	if err != nil {
 		return nil, err
 	}
+	// Instrumentation is purely observational: spans and counters never
+	// touch env.Src or the measurement stream, so an instrumented run is
+	// numerically identical to an uninstrumented one.
+	rec := runobs.From(ctx)
+	estPhase := rec.Phase("estimation")
+	selPhase := rec.Phase("selection")
 
 	opts := s.cfg.Estimator
 	if opts.Gamma == 0 {
@@ -128,7 +135,9 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 		if want < 1 {
 			want = 1
 		}
+		selSpan := selPhase.Start()
 		sel := s.selectBeams(env, qhat, avail, want)
+		selSpan.End()
 		for _, rx := range sel {
 			if len(out) == budget {
 				return out, nil
@@ -143,7 +152,9 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 		}
 		// One-shot µ selection once enough data has accumulated.
 		if !muSelected && len(obs) >= 4*s.cfg.J {
+			muSpan := estPhase.Start()
 			mu, muErr := covest.SelectMu(env.RXBook.Array().Elements(), obs, opts, s.cfg.AutoMuGrid)
+			muSpan.End()
 			if muErr == nil {
 				opts.Mu = mu
 				if est2, e2 := covest.NewEstimator(env.RXBook.Array().Elements(), opts); e2 == nil {
@@ -154,7 +165,10 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			// continues with its default regularization.
 			muSelected = true
 		}
+		estSpan := estPhase.Start()
 		q, stats, estErr := est.EstimateContext(ctx, win, qhat)
+		estSpan.End()
+		rec.AddSolve(solveSample(stats))
 		switch {
 		case estErr == nil && isFiniteObjective(stats):
 			qhat = q
@@ -162,17 +176,20 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			// The solver returned but its state is degenerate (non-finite
 			// objective): abandon estimation for this drop and scan out
 			// the remaining budget.
+			rec.Counter("estimator_fallbacks").Add(1)
 			return scanRemaining(ctx, env, measured, out, budget)
 		case errors.Is(estErr, context.Canceled) || errors.Is(estErr, context.DeadlineExceeded):
 			return nil, estErr
 		case errors.Is(estErr, cmat.ErrNoConvergence):
 			// Keep the previous estimate; the search degrades gracefully
 			// to its earlier knowledge rather than failing the run.
+			rec.Counter("estimator_stale_keeps").Add(1)
 		default:
 			// Estimator failure (e.g. poisoned energies in the history):
 			// the estimation pipeline is unusable for the rest of this
 			// drop, so fall back to scan-order selection instead of
 			// erroring the run.
+			rec.Counter("estimator_fallbacks").Add(1)
 			return scanRemaining(ctx, env, measured, out, budget)
 		}
 
@@ -185,7 +202,9 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 		if len(avail) == 0 {
 			continue
 		}
+		selSpan = selPhase.Start()
 		sel = s.selectBeams(env, qhat, avail, 1)
+		selSpan.End()
 		take(Pair{TX: tx, RX: sel[0]})
 	}
 	return out, nil

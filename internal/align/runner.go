@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"mmwalign/internal/obs"
 )
 
 // Trajectory records how the quality of the best pair found evolves as a
@@ -69,7 +71,10 @@ func Evaluate(env *Env, s Strategy, budget int) (Trajectory, error) {
 // stops cleanly at the next measurement or estimation boundary when ctx
 // is cancelled or its deadline passes, returning the context's error.
 func EvaluateContext(ctx context.Context, env *Env, s Strategy, budget int) (Trajectory, error) {
+	rec := obs.From(ctx)
+	oracleSpan := rec.Phase("oracle").Start()
 	optPair, optSNR := Oracle(env)
+	oracleSpan.End()
 	ms, err := runStrategy(ctx, env, s, budget)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -110,6 +115,8 @@ func EvaluateContext(ctx context.Context, env *Env, s Strategy, budget int) (Tra
 	if !haveBest {
 		return tr, fmt.Errorf("align: %s measured no codebook pairs", s.Name())
 	}
+	rec.Counter("alignment_runs").Add(1)
+	rec.Counter("pairs_measured").Add(int64(len(ms)))
 	return tr, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/covest"
 	"mmwalign/internal/meas"
+	runobs "mmwalign/internal/obs"
 )
 
 // TwoSidedStrategy extends the paper's Algorithm 1 in the direction its
@@ -49,6 +50,9 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 	if err != nil {
 		return nil, err
 	}
+	rec := runobs.From(ctx)
+	estPhase := rec.Phase("estimation")
+	selPhase := rec.Phase("selection")
 
 	opts := s.cfg.Estimator
 	if opts.Gamma == 0 {
@@ -101,7 +105,10 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			want = 1
 		}
 		taken := 0
-		for _, rx := range rxSel.selectBeams(env, qhat, avail, want) {
+		selSpan := selPhase.Start()
+		sel := rxSel.selectBeams(env, qhat, avail, want)
+		selSpan.End()
+		for _, rx := range sel {
 			if len(out) == budget {
 				return out, nil
 			}
@@ -118,7 +125,10 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			if s.cfg.Window > 0 && len(obs) > s.cfg.Window {
 				win = obs[len(obs)-s.cfg.Window:]
 			}
+			estSpan := estPhase.Start()
 			q, stats, estErr := est.EstimateContext(ctx, win, qhat)
+			estSpan.End()
+			rec.AddSolve(solveSample(stats))
 			switch {
 			case estErr == nil && isFiniteObjective(stats):
 				qhat = q
@@ -126,9 +136,11 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 				return nil, estErr
 			case errors.Is(estErr, cmat.ErrNoConvergence):
 				// keep previous estimate
+				rec.Counter("estimator_stale_keeps").Add(1)
 			default:
 				// Degenerate solve or estimator failure: scan out the
 				// remaining budget instead of erroring the drop.
+				rec.Counter("estimator_fallbacks").Add(1)
 				return scanRemaining(ctx, env, measured, out, budget)
 			}
 		}
@@ -140,7 +152,10 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 		if len(avail) == 0 {
 			continue
 		}
-		take(Pair{TX: tx, RX: rxSel.selectBeams(env, qhat, avail, 1)[0]})
+		selSpan = selPhase.Start()
+		last := rxSel.selectBeams(env, qhat, avail, 1)[0]
+		selSpan.End()
+		take(Pair{TX: tx, RX: last})
 	}
 	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"mmwalign/internal/align"
 	"mmwalign/internal/antenna"
@@ -28,54 +29,61 @@ import (
 	"mmwalign/internal/covest"
 	"mmwalign/internal/meas"
 	"mmwalign/internal/metrics"
+	"mmwalign/internal/obs"
 	"mmwalign/internal/rng"
 )
 
 // Config parameterizes a figure regeneration. Zero fields take the
-// paper-matched defaults (see WithDefaults).
+// paper-matched defaults (see WithDefaults). The JSON tags define the
+// config block of the run manifest (obs.Manifest): everything that
+// determines the output is serialized, runtime-only hooks are not.
 type Config struct {
 	// Seed drives all randomness.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Drops is the number of independent channel realizations.
-	Drops int
+	Drops int `json:"drops"`
 	// TXx, TXz are the TX UPA dimensions (paper: 4×4).
-	TXx, TXz int
+	TXx int `json:"tx_x"`
+	TXz int `json:"tx_z"`
 	// RXx, RXz are the RX UPA dimensions (paper: 8×8).
-	RXx, RXz int
+	RXx int `json:"rx_x"`
+	RXz int `json:"rx_z"`
 	// TXBookAz, TXBookEl shape the TX codebook grid (card(U) = product).
-	TXBookAz, TXBookEl int
+	TXBookAz int `json:"tx_book_az"`
+	TXBookEl int `json:"tx_book_el"`
 	// RXBookAz, RXBookEl shape the RX codebook grid (card(V) = product).
-	RXBookAz, RXBookEl int
+	RXBookAz int `json:"rx_book_az"`
+	RXBookEl int `json:"rx_book_el"`
 	// GammaDB is the pre-beamforming SNR E_s/N₀ in dB.
-	GammaDB float64
+	GammaDB float64 `json:"gamma_db"`
 	// Snapshots is the number of fading+noise snapshots per measurement.
-	Snapshots int
+	Snapshots int `json:"snapshots"`
 	// J is the proposed scheme's measurements per TX slot.
-	J int
+	J int `json:"j"`
 	// Window bounds the estimation history of the proposed scheme.
-	Window int
+	Window int `json:"window"`
 	// Mu is the nuclear-norm regularization weight.
-	Mu float64
+	Mu float64 `json:"mu"`
 	// EstimatorIters bounds proximal iterations per estimation.
-	EstimatorIters int
+	EstimatorIters int `json:"estimator_iters"`
 	// Multipath selects the NYC clustered channel instead of single-path.
-	Multipath bool
+	Multipath bool `json:"multipath"`
 	// SearchRates are the L/T points of the effectiveness sweep.
-	SearchRates []float64
+	SearchRates []float64 `json:"search_rates"`
 	// TargetsDB are the target losses of the cost-efficiency sweep.
-	TargetsDB []float64
+	TargetsDB []float64 `json:"targets_db"`
 	// Schemes are the strategy names to compare. Known names:
 	// "random", "scan", "exhaustive", "proposed", "hierarchical".
-	Schemes []string
+	Schemes []string `json:"schemes"`
 	// EstimatorKind selects the likelihood (ablation); zero means
 	// covest.PerMeasurement.
-	EstimatorKind covest.ObjectiveKind
+	EstimatorKind covest.ObjectiveKind `json:"estimator_kind"`
 	// Workers bounds the concurrent drops (0 = GOMAXPROCS). Results are
 	// independent of the worker count.
-	Workers int
+	Workers int `json:"workers"`
 	// PhaseBits applies b-bit phase-shifter quantization to both
 	// codebooks (0 = ideal continuous phases).
-	PhaseBits int
+	PhaseBits int `json:"phase_bits"`
 	// MaxFailedDrops is the error budget: how many drops may fail
 	// (worker panic, estimator failure, invalid measurements) while
 	// still producing a figure. A failed drop is excluded from the
@@ -83,13 +91,13 @@ type Config struct {
 	// comparable — and recorded in the figure's FailureReport. The
 	// default 0 is strict: any failure aborts the figure with every
 	// collected failure joined into the returned error.
-	MaxFailedDrops int
+	MaxFailedDrops int `json:"max_failed_drops"`
 	// WrapSounder, when non-nil, wraps each (drop, scheme) cell's
 	// sounder before the strategies run — the seam used by the
 	// fault-injection harness and instrumentation. The wrapper must be
 	// deterministic in (drop, scheme) for the worker-count invariance
 	// guarantee to hold.
-	WrapSounder func(drop int, scheme string, p meas.Prober) meas.Prober
+	WrapSounder func(drop int, scheme string, p meas.Prober) meas.Prober `json:"-"`
 }
 
 // WithDefaults returns a copy with zero fields replaced by the defaults
@@ -166,6 +174,11 @@ type Figure struct {
 	// non-nil the Series aggregate only the surviving drops, making
 	// partial results first-class rather than silent.
 	Failures *FailureReport
+	// Manifest is the machine-readable audit record of the run: config,
+	// seed, per-phase timings, solver-stat aggregates, and the failure
+	// summary. Always attached; timing/counter detail is present only
+	// when an obs.Recorder travelled in the generation context.
+	Manifest *obs.Manifest
 }
 
 // DropFailure is one failed (drop, scheme) cell with full attribution.
@@ -228,8 +241,10 @@ func (e *PanicError) Error() string {
 
 // buildEnv creates the per-drop, per-scheme environment. All schemes of
 // a drop share the channel realization and the measurement-noise seed so
-// differences come only from their pair-selection policies.
-func buildEnv(cfg Config, root *rng.Source, drop int, scheme string) (*align.Env, error) {
+// differences come only from their pair-selection policies. A non-nil
+// recorder observes channel-generation time and wraps the sounder with
+// measurement timing; instrumentation never alters the random streams.
+func buildEnv(cfg Config, root *rng.Source, drop int, scheme string, rec *obs.Recorder) (*align.Env, error) {
 	tx := antenna.NewUPA(cfg.TXx, cfg.TXz)
 	rx := antenna.NewUPA(cfg.RXx, cfg.RXz)
 
@@ -238,11 +253,13 @@ func buildEnv(cfg Config, root *rng.Source, drop int, scheme string) (*align.Env
 		ch  *channel.Channel
 		err error
 	)
+	chSpan := rec.Phase("channel").Start()
 	if cfg.Multipath {
 		ch, err = channel.NewNYCMultipath(chSrc, tx, rx, channel.DefaultNYC28())
 	} else {
 		ch, err = channel.NewSinglePath(chSrc, tx, rx, channel.SinglePathSpec{})
 	}
+	chSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("channel: %w", err)
 	}
@@ -255,6 +272,11 @@ func buildEnv(cfg Config, root *rng.Source, drop int, scheme string) (*align.Env
 	var prober meas.Prober = sounder
 	if cfg.WrapSounder != nil {
 		prober = cfg.WrapSounder(drop, scheme, prober)
+	}
+	if rec != nil {
+		// Outermost wrapper: sounding time includes any injected-fault
+		// work, and the count covers exactly what strategies observe.
+		prober = &obsProber{Prober: prober, phase: rec.Phase("sounding"), count: rec.Counter("measurements")}
 	}
 
 	txBook := antenna.NewGridCodebook(tx, cfg.TXBookAz, cfg.TXBookEl, math.Pi, math.Pi/2)
@@ -332,7 +354,7 @@ func runCell(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme
 	if err := ctx.Err(); err != nil {
 		return cell{err: err}
 	}
-	env, err := buildEnv(cfg, root, drop, scheme)
+	env, err := buildEnv(cfg, root, drop, scheme, obs.From(ctx))
 	if err != nil {
 		return attr(err)
 	}
@@ -367,6 +389,8 @@ func runCell(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme
 // and returns the context's error.
 func trajectories(ctx context.Context, cfg Config, budget int, visit func(scheme string, drop int, tr align.Trajectory)) (*FailureReport, error) {
 	root := rng.New(cfg.Seed)
+	rec := obs.From(ctx)
+	rec.StartRun(cfg.Drops * len(cfg.Schemes))
 
 	results := make([][]cell, cfg.Drops)
 	for d := range results {
@@ -396,6 +420,10 @@ spawn:
 					if r := recover(); r != nil {
 						results[drop][si] = cell{err: &PanicError{Drop: drop, Scheme: scheme, Value: r, Stack: debug.Stack()}}
 					}
+					// Progress is emitted on every completion — including
+					// recovered panics — so live failure counts match the
+					// eventual FailureReport.
+					rec.CellDone(results[drop][si].err != nil)
 				}()
 				results[drop][si] = runCell(ctx, cfg, root, drop, scheme, budget)
 			}()
@@ -465,6 +493,7 @@ func SearchEffectiveness(cfg Config) (Figure, error) {
 // error budget are excluded and reported in Figure.Failures.
 func SearchEffectivenessContext(ctx context.Context, cfg Config) (Figure, error) {
 	cfg = cfg.WithDefaults()
+	start := time.Now()
 	t := cfg.totalPairs()
 	maxRate := cfg.SearchRates[len(cfg.SearchRates)-1]
 	budget := int(math.Ceil(maxRate * float64(t)))
@@ -509,6 +538,7 @@ func SearchEffectivenessContext(ctx context.Context, cfg Config) (Figure, error)
 		}
 		fig.Series = append(fig.Series, s)
 	}
+	fig.Manifest = buildManifest(cfg, &fig, obs.From(ctx), time.Since(start))
 	return fig, nil
 }
 
@@ -527,6 +557,7 @@ func CostEfficiency(cfg Config) (Figure, error) {
 // are excluded and reported in Figure.Failures.
 func CostEfficiencyContext(ctx context.Context, cfg Config) (Figure, error) {
 	cfg = cfg.WithDefaults()
+	start := time.Now()
 	t := cfg.totalPairs()
 	maxRate := cfg.SearchRates[len(cfg.SearchRates)-1]
 	budget := int(math.Ceil(maxRate * float64(t)))
@@ -568,6 +599,7 @@ func CostEfficiencyContext(ctx context.Context, cfg Config) (Figure, error) {
 		}
 		fig.Series = append(fig.Series, s)
 	}
+	fig.Manifest = buildManifest(cfg, &fig, obs.From(ctx), time.Since(start))
 	return fig, nil
 }
 

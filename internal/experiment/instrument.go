@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"encoding/json"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/obs"
+)
+
+// obsProber times pair measurements and counts them. It is purely
+// observational — measurements pass through untouched — so wrapping it
+// around any deterministic prober preserves the engine's worker-count
+// invariance and the byte-identity of figure CSVs.
+type obsProber struct {
+	meas.Prober
+	phase *obs.Phase
+	count *obs.Counter
+}
+
+// Measure implements meas.Prober with sounding-phase timing.
+func (p *obsProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	sp := p.phase.Start()
+	m := p.Prober.Measure(txBeam, rxBeam, u, v)
+	sp.End()
+	p.count.Add(1)
+	return m
+}
+
+// buildManifest assembles the run manifest for a completed figure:
+// the fully defaulted config and seed always; phase timings, counters
+// and solver aggregates when a recorder observed the run. The CLI
+// layer stamps Version/CreatedAt before persisting.
+func buildManifest(cfg Config, fig *Figure, rec *obs.Recorder, elapsed time.Duration) *obs.Manifest {
+	m := &obs.Manifest{
+		Schema:    obs.ManifestSchema,
+		Figure:    fig.ID,
+		Title:     fig.Title,
+		Seed:      cfg.Seed,
+		GoVersion: runtime.Version(),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if cfgJSON, err := json.Marshal(cfg); err == nil {
+		m.Config = cfgJSON
+	}
+	if rec != nil {
+		snap := rec.Snapshot()
+		m.Instrumented = true
+		m.Phases = snap.Phases
+		m.Counters = snap.Counters
+		m.Solver = snap.Solver
+	}
+	if fig.Failures != nil {
+		fs := &obs.FailureSummary{
+			FailedDrops: fig.Failures.FailedDrops,
+			TotalDrops:  fig.Failures.TotalDrops,
+		}
+		for _, f := range fig.Failures.Failures {
+			errText := "unknown failure"
+			if f.Err != nil {
+				errText = f.Err.Error()
+			}
+			fs.Cells = append(fs.Cells, obs.FailureCell{Drop: f.Drop, Scheme: f.Scheme, Error: errText})
+		}
+		m.Failures = fs
+	}
+	return m
+}
+
+// VersionString identifies the source tree for manifest stamping: the
+// module version/VCS revision from build info when present. Returns ""
+// when nothing is known (e.g. a test binary); the CLIs fall back to
+// git describe in that case.
+func VersionString() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "-dirty"
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return ""
+}

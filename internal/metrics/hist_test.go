@@ -39,6 +39,25 @@ func TestHistogramClampsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestHistogramBoundaryValues(t *testing.T) {
+	// x == hi lands exactly on len(counts) before clamping; it must count
+	// in the last bin, not panic or vanish. x == lo belongs to bin 0, and
+	// a value just below lo clamps into bin 0.
+	h := NewHistogram(-2, 2, 4)
+	h.Add(2)  // exactly hi
+	h.Add(-2) // exactly lo
+	h.Add(math.Nextafter(-2, -3))
+	if c, _, _ := h.Bin(3); c != 1 {
+		t.Errorf("count at x=hi bin = %d, want 1", c)
+	}
+	if c, _, _ := h.Bin(0); c != 2 {
+		t.Errorf("count at x=lo bin = %d, want 2", c)
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+}
+
 func TestHistogramRejectsNonFinite(t *testing.T) {
 	h := NewHistogram(0, 1, 2)
 	if h.Add(math.NaN()) || h.Add(math.Inf(1)) {

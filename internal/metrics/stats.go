@@ -54,13 +54,53 @@ func (a *Accumulator) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
 
-// CI95 returns the half-width of the normal-approximation 95% confidence
-// interval of the mean (0 for n < 2).
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean (0 for n < 2), using the Student-t quantile with n−1 degrees of
+// freedom. At the figure defaults (20 drops) the normal approximation
+// z≈1.96 understates the half-width by ~7% (t₀.₉₇₅,₁₉ ≈ 2.093); the
+// error bars on regenerated figures were systematically too tight.
 func (a *Accumulator) CI95() float64 {
 	if a.n < 2 {
 		return 0
 	}
-	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+	return TQuantile975(a.n-1) * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// z975 is the 0.975 quantile of the standard normal distribution.
+const z975 = 1.959963984540054
+
+// tTable975 holds the 0.975 Student-t quantiles for 1–30 degrees of
+// freedom; tTable975[df-1] is t₀.₉₇₅ with df degrees of freedom.
+var tTable975 = [30]float64{
+	12.706205, 4.302653, 3.182446, 2.776445, 2.570582,
+	2.446912, 2.364624, 2.306004, 2.262157, 2.228139,
+	2.200985, 2.178813, 2.160369, 2.144787, 2.131450,
+	2.119905, 2.109816, 2.100922, 2.093024, 2.085963,
+	2.079614, 2.073873, 2.068658, 2.063899, 2.059539,
+	2.055529, 2.051831, 2.048407, 2.045230, 2.042272,
+}
+
+// TQuantile975 returns the 0.975 quantile of the Student-t distribution
+// with df degrees of freedom — the critical value of a two-sided 95%
+// confidence interval. Exact table values cover df ≤ 30; larger df use
+// the Cornish–Fisher expansion about the normal quantile, accurate to
+// <1e-4 there. df < 1 returns the df=1 value (the widest interval)
+// rather than extrapolating below a defined distribution.
+func TQuantile975(df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	if df <= len(tTable975) {
+		return tTable975[df-1]
+	}
+	// Cornish–Fisher expansion of the t quantile in powers of 1/df.
+	z := z975
+	v := float64(df)
+	z2 := z * z
+	g1 := (z2 + 1) * z / 4
+	g2 := ((5*z2+16)*z2 + 3) * z / 96
+	g3 := (((3*z2+19)*z2+17)*z2 - 15) * z / 384
+	return z + g1/v + g2/(v*v) + g3/(v*v*v)
 }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).

@@ -64,6 +64,73 @@ func TestAddFinite(t *testing.T) {
 	}
 }
 
+func TestTQuantile975(t *testing.T) {
+	tests := []struct {
+		df   int
+		want float64
+		tol  float64
+	}{
+		{1, 12.706205, 1e-6},  // n=2
+		{4, 2.776445, 1e-6},   // n=5
+		{19, 2.093024, 1e-6},  // n=20, the figure default
+		{30, 2.042272, 1e-6},  // last table entry
+		{31, 2.039513, 1e-4},  // first Cornish–Fisher value
+		{120, 1.979930, 1e-4}, // classic table row
+		{1 << 20, z975, 1e-4}, // t → z as df → ∞
+	}
+	for _, tt := range tests {
+		if got := TQuantile975(tt.df); math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("TQuantile975(%d) = %g, want %g ± %g", tt.df, got, tt.want, tt.tol)
+		}
+	}
+	if got := TQuantile975(0); got != TQuantile975(1) {
+		t.Errorf("TQuantile975(0) = %g, want the df=1 value", got)
+	}
+	// The table→expansion seam must not jump: t is strictly decreasing
+	// in df.
+	for df := 2; df <= 60; df++ {
+		if TQuantile975(df) >= TQuantile975(df-1) {
+			t.Errorf("TQuantile975 not decreasing at df=%d", df)
+		}
+	}
+}
+
+func TestCI95UsesStudentT(t *testing.T) {
+	// n samples with stddev s → half-width t₀.₉₇₅(n−1)·s/√n.
+	build := func(n int) *Accumulator {
+		var a Accumulator
+		for i := 0; i < n; i++ {
+			a.Add(float64(i % 2)) // alternating 0,1 keeps stddev nonzero
+		}
+		return &a
+	}
+	for _, n := range []int{2, 5, 20, 2000} {
+		a := build(n)
+		want := TQuantile975(n-1) * a.StdDev() / math.Sqrt(float64(n))
+		if got := a.CI95(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CI95 at n=%d = %g, want %g", n, got, want)
+		}
+	}
+	// n=20 must use t₀.₉₇₅,₁₉ ≈ 2.093, not the normal 1.96 the old
+	// implementation hardcoded.
+	a := build(20)
+	normal := 1.96 * a.StdDev() / math.Sqrt(20)
+	if got := a.CI95(); got <= normal {
+		t.Errorf("CI95 at n=20 = %g, not wider than normal approximation %g", got, normal)
+	}
+	// At large n the t interval converges to the normal one.
+	big := build(2000)
+	zHW := z975 * big.StdDev() / math.Sqrt(2000)
+	if got := big.CI95(); math.Abs(got-zHW) > 1e-3*zHW {
+		t.Errorf("CI95 at n=2000 = %g, want ≈ %g", got, zHW)
+	}
+	var one Accumulator
+	one.Add(1)
+	if one.CI95() != 0 {
+		t.Errorf("CI95 with one sample = %g, want 0", one.CI95())
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
 	tests := []struct {
@@ -84,6 +151,12 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := Median([]float64{1, 2, 3}); got != 2 {
 		t.Errorf("Median = %g", got)
+	}
+	// A singleton sample is every percentile of itself.
+	for _, p := range []float64{0, 25, 50, 99, 100} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile(singleton, %g) = %g, want 7", p, got)
+		}
 	}
 }
 

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ManifestSchema identifies the run-manifest JSON layout; bump the
+// suffix on breaking changes so downstream tooling can dispatch.
+const ManifestSchema = "mmwalign/run-manifest/v1"
+
+// Manifest is the machine-readable audit record of one figure run,
+// written next to each CSV by cmd/figgen and exposed on the public
+// FigureResult. Two manifests for the same (figure, seed, config) are
+// diffable: everything except timings, version, and created_at is
+// deterministic.
+type Manifest struct {
+	// Schema is ManifestSchema.
+	Schema string `json:"schema"`
+	// Figure is the figure identifier ("fig5".."fig8").
+	Figure string `json:"figure"`
+	// Title restates what the figure plots.
+	Title string `json:"title,omitempty"`
+	// Seed is the run's random seed — with Config, it fully determines
+	// the CSV.
+	Seed int64 `json:"seed"`
+	// GoVersion is the toolchain that produced the run.
+	GoVersion string `json:"go_version"`
+	// Version identifies the source tree (git describe or module build
+	// info); filled by the CLI, empty for library runs.
+	Version string `json:"version,omitempty"`
+	// CreatedAt is the RFC 3339 UTC timestamp; filled by the CLI.
+	CreatedAt string `json:"created_at,omitempty"`
+	// Config is the fully defaulted experiment.Config as JSON.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Instrumented reports whether a recorder was installed: phase
+	// timings, counters and solver aggregates are only populated when
+	// true.
+	Instrumented bool `json:"instrumented"`
+	// ElapsedNS is the figure's wall-clock generation time.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Phases holds the per-phase wall-clock breakdown (sorted by name).
+	Phases []PhaseStat `json:"phases,omitempty"`
+	// Counters holds the event counters (measurements, fallbacks, …).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Solver aggregates covest.Stats across every estimation of the run.
+	Solver SolverStats `json:"solver"`
+	// Failures summarizes drops excluded under the error budget; nil
+	// when every drop succeeded.
+	Failures *FailureSummary `json:"failures,omitempty"`
+}
+
+// FailureSummary is the manifest form of experiment.FailureReport.
+type FailureSummary struct {
+	// FailedDrops is the number of distinct excluded drops.
+	FailedDrops int `json:"failed_drops"`
+	// TotalDrops is the configured drop count.
+	TotalDrops int `json:"total_drops"`
+	// Cells lists each failed (drop, scheme) cell with its error text.
+	Cells []FailureCell `json:"cells,omitempty"`
+}
+
+// FailureCell is one failed (drop, scheme) cell.
+type FailureCell struct {
+	Drop   int    `json:"drop"`
+	Scheme string `json:"scheme"`
+	Error  string `json:"error"`
+}
+
+// Validate checks the manifest's structural invariants — the contract
+// the CI smoke step and the figgen self-check enforce before a
+// manifest is trusted.
+func (m *Manifest) Validate() error {
+	if m == nil {
+		return fmt.Errorf("obs: nil manifest")
+	}
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Figure == "" {
+		return fmt.Errorf("obs: manifest has no figure identifier")
+	}
+	if m.GoVersion == "" {
+		return fmt.Errorf("obs: manifest has no go_version")
+	}
+	if m.ElapsedNS < 0 {
+		return fmt.Errorf("obs: negative elapsed_ns %d", m.ElapsedNS)
+	}
+	if len(m.Config) > 0 && !json.Valid(m.Config) {
+		return fmt.Errorf("obs: manifest config is not valid JSON")
+	}
+	if m.Instrumented && len(m.Phases) == 0 {
+		return fmt.Errorf("obs: instrumented manifest has no phase timings")
+	}
+	for _, p := range m.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("obs: manifest phase with empty name")
+		}
+		if p.Count < 0 || p.TotalNS < 0 {
+			return fmt.Errorf("obs: phase %q has negative count/time (%d, %d)", p.Name, p.Count, p.TotalNS)
+		}
+	}
+	for name, v := range m.Counters {
+		if v < 0 {
+			return fmt.Errorf("obs: counter %q is negative (%d)", name, v)
+		}
+	}
+	s := m.Solver
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"estimations", s.Estimations}, {"iters", s.Iters},
+		{"eigen_decomps", s.EigenDecomps}, {"objective_evals", s.ObjectiveEvals},
+		{"gradient_evals", s.GradientEvals}, {"backtracks", s.Backtracks},
+		{"restarts", s.Restarts}, {"recovered", s.Recovered}, {"degraded", s.Degraded},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("obs: solver aggregate %s is negative (%d)", c.name, c.v)
+		}
+	}
+	if f := m.Failures; f != nil {
+		if f.FailedDrops <= 0 || f.FailedDrops > f.TotalDrops {
+			return fmt.Errorf("obs: failure summary %d of %d drops is inconsistent", f.FailedDrops, f.TotalDrops)
+		}
+		for _, c := range f.Cells {
+			if c.Scheme == "" || c.Error == "" {
+				return fmt.Errorf("obs: failure cell (drop %d) missing scheme or error", c.Drop)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON validates the manifest and emits it as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ParseManifest decodes and validates a manifest document.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
