@@ -303,6 +303,22 @@ func BenchmarkEigen(b *testing.B) {
 	benchsuite.BenchEigen(b)
 }
 
+// BenchmarkGEMM is the canonical regression-guarded batched-kernel
+// benchmark (shared with cmd/benchdiff): one Q·V product plus column
+// dots at the solver's 64x56 problem size. Compare against
+// BENCH_gemm.json with cmd/benchdiff.
+func BenchmarkGEMM(b *testing.B) {
+	benchsuite.BenchGEMM(b)
+}
+
+// BenchmarkCodebookScore is the canonical regression-guarded codebook
+// scoring benchmark (shared with cmd/benchdiff): one whole-codebook
+// GEMM scoring pass plus a Top-8 ranking. Compare against
+// BENCH_codebook.json with cmd/benchdiff.
+func BenchmarkCodebookScore(b *testing.B) {
+	benchsuite.BenchCodebookScore(b)
+}
+
 // BenchmarkEigHermitian64 measures the 64×64 Hermitian Jacobi
 // eigendecomposition, the inner kernel of every covariance estimation.
 func BenchmarkEigHermitian64(b *testing.B) {

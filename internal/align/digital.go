@@ -56,6 +56,7 @@ func (s *DigitalStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) 
 
 	measured := make(map[Pair]bool, budget)
 	var out []meas.Measurement
+	var ranked []int // reused ranking buffer across TX slots
 	txOrder := env.Src.Perm(env.TXBook.Size())
 	slot := 0
 	slots := 0 // total slot budget consumed (snapshots + soundings)
@@ -86,7 +87,7 @@ func (s *DigitalStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) 
 
 		// Confirmation sounding on the best unmeasured codeword.
 		best, found := -1, false
-		ranked := env.RXBook.TopKQuadForm(qhat, env.RXBook.Size())
+		ranked = env.RXBook.TopKQuadFormInto(qhat, env.RXBook.Size(), ranked)
 		for _, idx := range ranked {
 			if !measured[Pair{TX: tx, RX: idx}] {
 				best, found = idx, true

@@ -101,6 +101,7 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 
 	nRX := env.RXBook.Size()
 	measured := make(map[Pair]bool, budget)
+	scr := &selectScratch{}
 	var out []meas.Measurement
 	var obs []covest.Observation
 	var qhat *cmat.Matrix
@@ -136,7 +137,7 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			want = 1
 		}
 		selSpan := selPhase.Start()
-		sel := s.selectBeams(env, qhat, avail, want)
+		sel := s.selectBeams(env, qhat, avail, want, scr)
 		selSpan.End()
 		for _, rx := range sel {
 			if len(out) == budget {
@@ -150,19 +151,25 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 		if s.cfg.Window > 0 && len(obs) > s.cfg.Window {
 			win = obs[len(obs)-s.cfg.Window:]
 		}
-		// One-shot µ selection once enough data has accumulated.
+		// One-shot µ selection once enough data has accumulated. The
+		// holdout runs on the same bounded window the estimator sees —
+		// scoring µ on history the estimator will never be shown would
+		// tune the regularizer for a different problem.
 		if !muSelected && len(obs) >= 4*s.cfg.J {
 			muSpan := estPhase.Start()
-			mu, muErr := covest.SelectMu(env.RXBook.Array().Elements(), obs, opts, s.cfg.AutoMuGrid)
+			mu, muErr := covest.SelectMu(env.RXBook.Array().Elements(), win, opts, s.cfg.AutoMuGrid)
 			muSpan.End()
 			if muErr == nil {
+				rec.Counter("mu_selections").Add(1)
 				opts.Mu = mu
 				if est2, e2 := covest.NewEstimator(env.RXBook.Array().Elements(), opts); e2 == nil {
 					est = est2
 				}
+			} else {
+				// On selection failure keep the configured µ; the search
+				// continues with its default regularization.
+				rec.Counter("mu_select_failures").Add(1)
 			}
-			// On selection failure keep the configured µ; the search
-			// continues with its default regularization.
 			muSelected = true
 		}
 		estSpan := estPhase.Start()
@@ -203,7 +210,7 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			continue
 		}
 		selSpan = selPhase.Start()
-		sel = s.selectBeams(env, qhat, avail, 1)
+		sel = s.selectBeams(env, qhat, avail, 1, scr)
 		selSpan.End()
 		take(Pair{TX: tx, RX: sel[0]})
 	}
@@ -227,14 +234,33 @@ func (s *ProposedStrategy) unmeasuredRX(measured map[Pair]bool, tx, nRX int) []i
 	return out
 }
 
+// scoredBeam pairs a codebook index with its quadratic-form score for
+// the partial selection sort in selectBeams.
+type scoredBeam struct {
+	idx int
+	val float64
+}
+
+// selectScratch carries the reusable buffers for one run's selectBeams
+// calls: the whole-codebook score vector and the candidate list. It
+// lives in RunContext rather than on the strategy so ProposedStrategy
+// stays stateless and safe to share across concurrent experiment cells.
+type selectScratch struct {
+	all    []float64
+	scored []scoredBeam
+}
+
 // selectBeams picks k beams from avail: the top positive scorers under
 // vᴴQ̂v when an informative estimate exists, with random exploration
 // otherwise. Beams the estimate assigns (numerically) zero energy are
 // never preferred by index order — an all-zero Q̂ (common in early slots,
 // when the regularizer has thresholded everything away) must behave like
 // the paper's "random for the very first TX slot" rule, not like a
-// deterministic sweep of beam 0, 1, 2, ….
-func (s *ProposedStrategy) selectBeams(env *Env, qhat *cmat.Matrix, avail []int, k int) []int {
+// deterministic sweep of beam 0, 1, 2, …. Scoring batches the whole
+// codebook through one GEMM (Codebook.QuadFormScoresInto), which is
+// bitwise identical to the per-beam QuadForm it replaces; the selection
+// logic below is untouched so fixed-seed trajectories do not move.
+func (s *ProposedStrategy) selectBeams(env *Env, qhat *cmat.Matrix, avail []int, k int, scr *selectScratch) []int {
 	if k > len(avail) {
 		k = len(avail)
 	}
@@ -249,20 +275,26 @@ func (s *ProposedStrategy) selectBeams(env *Env, qhat *cmat.Matrix, avail []int,
 	if qhat == nil {
 		return randomPick(avail, k)
 	}
-
-	type scored struct {
-		idx int
-		val float64
+	if scr == nil {
+		scr = &selectScratch{}
 	}
-	scores := make([]scored, len(avail))
+
+	if cap(scr.all) < env.RXBook.Size() {
+		scr.all = make([]float64, env.RXBook.Size())
+	}
+	all := scr.all[:env.RXBook.Size()]
+	env.RXBook.QuadFormScoresInto(qhat, all)
+
+	scores := scr.scored[:0]
 	var maxScore float64
-	for i, idx := range avail {
-		v := qhat.QuadForm(env.RXBook.Beam(idx).Weights)
-		scores[i] = scored{idx, v}
+	for _, idx := range avail {
+		v := all[idx]
+		scores = append(scores, scoredBeam{idx, v})
 		if v > maxScore {
 			maxScore = v
 		}
 	}
+	scr.scored = scores
 	if maxScore <= 0 {
 		return randomPick(avail, k)
 	}

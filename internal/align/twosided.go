@@ -74,6 +74,7 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 	var qhat *cmat.Matrix
 	// Reuse the proposed scheme's RX selection logic.
 	rxSel := &ProposedStrategy{cfg: s.cfg}
+	scr := &selectScratch{}
 
 	take := func(p Pair) {
 		m := env.MeasurePair(p)
@@ -106,7 +107,7 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 		}
 		taken := 0
 		selSpan := selPhase.Start()
-		sel := rxSel.selectBeams(env, qhat, avail, want)
+		sel := rxSel.selectBeams(env, qhat, avail, want, scr)
 		selSpan.End()
 		for _, rx := range sel {
 			if len(out) == budget {
@@ -153,7 +154,7 @@ func (s *TwoSidedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 			continue
 		}
 		selSpan = selPhase.Start()
-		last := rxSel.selectBeams(env, qhat, avail, 1)[0]
+		last := rxSel.selectBeams(env, qhat, avail, 1, scr)[0]
 		selSpan.End()
 		take(Pair{TX: tx, RX: last})
 	}

@@ -1,0 +1,145 @@
+package antenna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmwalign/internal/cmat"
+)
+
+func randHermQ(seed int64, n int) *cmat.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := cmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(r.NormFloat64(), r.NormFloat64()))
+		}
+	}
+	return m.Hermitianize()
+}
+
+func TestQuadFormScoresMatchScalarBitwise(t *testing.T) {
+	cb := testCodebook()
+	q := randHermQ(21, cb.Array().Elements())
+	scores := make([]float64, cb.Size())
+	cb.QuadFormScoresInto(q, scores)
+	for i := 0; i < cb.Size(); i++ {
+		if want := q.QuadForm(cb.Beam(i).Weights); scores[i] != want {
+			t.Fatalf("beam %d: batched score %v, want %v (bitwise)", i, scores[i], want)
+		}
+	}
+}
+
+func TestBestQuadFormMatchesScalarScan(t *testing.T) {
+	cb := testCodebook()
+	for seed := int64(1); seed <= 5; seed++ {
+		q := randHermQ(seed, cb.Array().Elements())
+		gotIdx, gotVal := cb.BestQuadForm(q)
+		wantIdx, wantVal := -1, math.Inf(-1)
+		for i := 0; i < cb.Size(); i++ {
+			if v := q.QuadForm(cb.Beam(i).Weights); v > wantVal {
+				wantIdx, wantVal = i, v
+			}
+		}
+		if gotIdx != wantIdx || gotVal != wantVal {
+			t.Fatalf("seed %d: BestQuadForm = (%d, %v), want (%d, %v)", seed, gotIdx, gotVal, wantIdx, wantVal)
+		}
+	}
+}
+
+// TestTopKPathsAgree pins the path-independence promise: for any k the
+// small-k repeated scan and the sort path produce the same ranking, so
+// the cutoff is purely a performance knob.
+func TestTopKPathsAgree(t *testing.T) {
+	cb := testCodebook()
+	q := randHermQ(33, cb.Array().Elements())
+	full := cb.TopKQuadForm(q, cb.Size()) // sort path (k = 32 > cutoff)
+	for k := 1; k <= topKScanCutoff; k++ {
+		scan := cb.TopKQuadForm(q, k) // scan path
+		for i := range scan {
+			if scan[i] != full[i] {
+				t.Fatalf("k=%d: scan path %v disagrees with sort-path prefix %v", k, scan, full[:k])
+			}
+		}
+	}
+}
+
+func TestTopKTieBreakAndNaN(t *testing.T) {
+	cb := testCodebook()
+	// A zero matrix scores every beam exactly 0: ties must resolve by
+	// ascending beam index on both paths.
+	zero := cmat.New(cb.Array().Elements(), cb.Array().Elements())
+	for _, k := range []int{3, cb.Size()} {
+		got := cb.TopKQuadForm(zero, k)
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("k=%d: tie order %v, want ascending indices", k, got)
+			}
+		}
+	}
+	// NaN scores must rank below every finite score, not poison the
+	// comparison order.
+	nan := cmat.New(cb.Array().Elements(), cb.Array().Elements())
+	nan.Set(0, 0, complex(math.NaN(), 0))
+	ranked := cb.TopKQuadForm(nan, cb.Size())
+	if len(ranked) != cb.Size() {
+		t.Fatalf("ranked %d beams, want %d", len(ranked), cb.Size())
+	}
+	seen := make(map[int]bool)
+	for _, idx := range ranked {
+		if seen[idx] {
+			t.Fatalf("duplicate index %d in ranking %v", idx, ranked)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestTopKQuadFormIntoReusesBuffer(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under -race (sync.Pool drops items)")
+	}
+	cb := testCodebook()
+	q := randHermQ(44, cb.Array().Elements())
+	buf := make([]int, 0, cb.Size())
+	// Warm the packed cache and the workspace pool.
+	buf = cb.TopKQuadFormInto(q, 4, buf)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = cb.TopKQuadFormInto(q, 4, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("small-k TopKQuadFormInto allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestQuadFormScoresConcurrentUse(t *testing.T) {
+	cb := testCodebook()
+	q := randHermQ(55, cb.Array().Elements())
+	want := make([]float64, cb.Size())
+	cb.QuadFormScoresInto(q, want)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			dst := make([]float64, cb.Size())
+			for rep := 0; rep < 50; rep++ {
+				cb.QuadFormScoresInto(q, dst)
+				for i := range dst {
+					if dst[i] != want[i] {
+						done <- errTest(i)
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent scoring diverged: %v", err)
+		}
+	}
+}
+
+type errTest int
+
+func (e errTest) Error() string { return "score mismatch at beam " + string(rune('0'+int(e))) }

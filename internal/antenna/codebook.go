@@ -3,6 +3,8 @@ package antenna
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"mmwalign/internal/cmat"
 )
@@ -30,6 +32,15 @@ type Codebook struct {
 	nEl    int
 	array  Array
 	labels string
+
+	// packOnce guards the lazy dim×M packed-weights matrix used by the
+	// batched scorers. Beams are immutable after construction, so the
+	// cache is built at most once and is safe under concurrent scoring.
+	packOnce sync.Once
+	packed   *cmat.Matrix
+	// scorePool recycles per-call GEMM workspaces so concurrent scorers
+	// (one per experiment worker) never contend on shared buffers.
+	scorePool sync.Pool
 }
 
 // NewGridCodebook builds a codebook of nAz×nEl steering beams that
@@ -162,50 +173,176 @@ func (c *Codebook) SnakeOrder() []int {
 	return out
 }
 
+// scoreSpace is a pooled workspace for one batched scoring pass: the
+// Q·W product buffer, the columnwise-dot accumulator, and a scratch
+// score vector for the selection methods.
+type scoreSpace struct {
+	qw     *cmat.Matrix
+	dots   []complex128
+	scores []float64
+}
+
+// packedWeights returns the dim×M matrix whose column i is beam i's
+// weight vector, building it on first use. Scoring the whole codebook
+// then becomes one GEMM against this matrix instead of M separate
+// quadratic forms.
+func (c *Codebook) packedWeights() *cmat.Matrix {
+	c.packOnce.Do(func() {
+		dim := 0
+		if len(c.beams) > 0 {
+			dim = len(c.beams[0].Weights)
+		}
+		w := cmat.New(dim, len(c.beams))
+		for i := range c.beams {
+			w.SetCol(i, c.beams[i].Weights)
+		}
+		c.packed = w
+	})
+	return c.packed
+}
+
+// getScoreSpace fetches a workspace sized for this codebook from the
+// pool, allocating on first use or when the pool is empty.
+func (c *Codebook) getScoreSpace() *scoreSpace {
+	ws, _ := c.scorePool.Get().(*scoreSpace)
+	if ws == nil {
+		w := c.packedWeights()
+		ws = &scoreSpace{
+			qw:     cmat.New(w.Rows(), w.Cols()),
+			dots:   make([]complex128, w.Cols()),
+			scores: make([]float64, w.Cols()),
+		}
+	}
+	return ws
+}
+
+// scoresInto computes every beam's quadratic form against q into dst
+// using ws as scratch. dst must have length Size().
+func (c *Codebook) scoresInto(q *cmat.Matrix, ws *scoreSpace, dst []float64) {
+	w := c.packedWeights()
+	if q.Rows() != w.Rows() || q.Cols() != w.Rows() {
+		panic(fmt.Sprintf("antenna: codebook scoring matrix %dx%d, want %dx%d", q.Rows(), q.Cols(), w.Rows(), w.Rows()))
+	}
+	ws.qw.MulInto(q, w)
+	cmat.ColumnDotsInto(ws.dots, w, ws.qw)
+	for i, d := range ws.dots {
+		dst[i] = real(d)
+	}
+}
+
+// QuadFormScoresInto writes wᵢᴴ·Q·wᵢ for every beam i into dst, which
+// must have length Size(), and returns dst. One Q·W GEMM plus a
+// columnwise dot replaces Size() separate QuadForm calls; each score is
+// bitwise identical to q.QuadForm(c.Beam(i).Weights) because both paths
+// accumulate the same products in the same order. Panics if Q's
+// dimension differs from the array size. Safe for concurrent use.
+func (c *Codebook) QuadFormScoresInto(q *cmat.Matrix, dst []float64) []float64 {
+	if len(dst) != len(c.beams) {
+		panic(fmt.Sprintf("antenna: QuadFormScoresInto dst length %d, want %d", len(dst), len(c.beams)))
+	}
+	if len(c.beams) == 0 {
+		return dst
+	}
+	ws := c.getScoreSpace()
+	c.scoresInto(q, ws, dst)
+	c.scorePool.Put(ws)
+	return dst
+}
+
 // BestQuadForm returns the beam index maximizing the quadratic form
-// wᴴ·Q·w over the codebook, together with the achieved value. This is the
-// eigen-beam selection rule of the paper (Eq. 26) restricted to the
-// codebook. Panics if Q's dimension differs from the array size.
+// wᴴ·Q·w over the codebook, together with the achieved value; the
+// lowest index wins exact ties. This is the eigen-beam selection rule
+// of the paper (Eq. 26) restricted to the codebook. Panics if Q's
+// dimension differs from the array size.
 func (c *Codebook) BestQuadForm(q *cmat.Matrix) (int, float64) {
+	if len(c.beams) == 0 {
+		return -1, math.Inf(-1)
+	}
+	ws := c.getScoreSpace()
+	c.scoresInto(q, ws, ws.scores)
 	best, bestVal := -1, math.Inf(-1)
-	for i := range c.beams {
-		v := q.QuadForm(c.beams[i].Weights)
+	for i, v := range ws.scores {
 		if v > bestVal {
 			best, bestVal = i, v
 		}
 	}
+	c.scorePool.Put(ws)
 	return best, bestVal
 }
+
+// topKScanCutoff is the largest k served by the repeated-scan path in
+// TopKQuadFormInto; beyond it one full sort is cheaper than k passes.
+const topKScanCutoff = 8
 
 // TopKQuadForm returns the indices of the k beams with the largest
 // quadratic form wᴴ·Q·w, in descending order. If k exceeds the codebook
 // size the whole codebook is returned. Used for the "pick the (J−1)
 // largest vᴴQ̂v directions" rule (Sec. IV-B2).
 func (c *Codebook) TopKQuadForm(q *cmat.Matrix, k int) []int {
-	type scored struct {
-		idx int
-		val float64
+	return c.TopKQuadFormInto(q, k, nil)
+}
+
+// TopKQuadFormInto is TopKQuadForm with a caller-supplied result buffer:
+// dst is truncated and appended to, so a buffer reused across calls
+// makes repeated ranking allocation-free on the small-k path. Ordering
+// is total and path-independent — scores descend, exact ties break
+// toward the lower beam index, and NaN scores rank below every finite
+// score — whether the small-k scan or the sort path serves the request.
+func (c *Codebook) TopKQuadFormInto(q *cmat.Matrix, k int, dst []int) []int {
+	if k > len(c.beams) {
+		k = len(c.beams)
 	}
-	scoredBeams := make([]scored, len(c.beams))
-	for i := range c.beams {
-		scoredBeams[i] = scored{i, q.QuadForm(c.beams[i].Weights)}
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
 	}
-	// Partial selection sort: k is small (J−1 ≈ a handful).
-	if k > len(scoredBeams) {
-		k = len(scoredBeams)
-	}
-	out := make([]int, 0, k)
-	for n := 0; n < k; n++ {
-		best := n
-		for i := n + 1; i < len(scoredBeams); i++ {
-			if scoredBeams[i].val > scoredBeams[best].val {
-				best = i
-			}
+	ws := c.getScoreSpace()
+	c.scoresInto(q, ws, ws.scores)
+	scores := ws.scores
+	// Replace NaN with −Inf so both selection paths compare under the
+	// same strict weak ordering.
+	for i, v := range scores {
+		if math.IsNaN(v) {
+			scores[i] = math.Inf(-1)
 		}
-		scoredBeams[n], scoredBeams[best] = scoredBeams[best], scoredBeams[n]
-		out = append(out, scoredBeams[n].idx)
 	}
-	return out
+	if k <= topKScanCutoff {
+		// Partial selection by repeated scan: k is small (J−1 ≈ a
+		// handful), so k linear passes beat sorting all M scores.
+		for n := 0; n < k; n++ {
+			best := -1
+			for i, v := range scores {
+				if best >= 0 && v <= scores[best] {
+					continue
+				}
+				taken := false
+				for _, t := range dst {
+					if t == i {
+						taken = true
+						break
+					}
+				}
+				if !taken {
+					best = i
+				}
+			}
+			dst = append(dst, best)
+		}
+		c.scorePool.Put(ws)
+		return dst
+	}
+	for i := range scores {
+		dst = append(dst, i)
+	}
+	sort.Slice(dst, func(a, b int) bool {
+		if scores[dst[a]] != scores[dst[b]] {
+			return scores[dst[a]] > scores[dst[b]]
+		}
+		return dst[a] < dst[b]
+	})
+	dst = dst[:k]
+	c.scorePool.Put(ws)
+	return dst
 }
 
 // String describes the codebook.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package antenna
+
+const raceEnabled = false

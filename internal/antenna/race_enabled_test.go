@@ -1,0 +1,8 @@
+//go:build race
+
+package antenna
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool intentionally drops items to widen the interleaving space,
+// so allocation-count assertions are not meaningful.
+const raceEnabled = true

@@ -52,9 +52,25 @@ type EigenWorkspace struct {
 	v          *Matrix // accumulated eigenvectors (unsorted)
 	vals       []float64
 	idx        []int
+	sorter     eigenSorter
 	sortedVals []float64
 	sortedVecs *Matrix
 }
+
+// eigenSorter orders the index permutation by descending eigenvalue. It
+// implements sort.Interface so the per-decomposition sort allocates
+// nothing (sort.Slice would allocate its closure and swapper on every
+// call); sort.Sort and sort.Slice share one pdqsort implementation, so
+// the permutation — including its treatment of equal eigenvalues — is
+// unchanged.
+type eigenSorter struct {
+	vals []float64
+	idx  []int
+}
+
+func (s *eigenSorter) Len() int           { return len(s.idx) }
+func (s *eigenSorter) Less(i, j int) bool { return s.vals[s.idx[i]] > s.vals[s.idx[j]] }
+func (s *eigenSorter) Swap(i, j int)      { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
 
 // NewEigenWorkspace returns a workspace pre-sized for n×n inputs. The
 // workspace transparently resizes if handed a different dimension.
@@ -70,6 +86,7 @@ func (ws *EigenWorkspace) resize(n int) {
 	ws.v = New(n, n)
 	ws.vals = make([]float64, n)
 	ws.idx = make([]int, n)
+	ws.sorter = eigenSorter{vals: ws.vals, idx: ws.idx}
 	ws.sortedVals = make([]float64, n)
 	ws.sortedVecs = New(n, n)
 }
@@ -128,7 +145,7 @@ func (ws *EigenWorkspace) EigHermitian(a *Matrix) (Eigen, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sort.Sort(&ws.sorter)
 	sortedVals, sortedVecs := ws.sortedVals, ws.sortedVecs
 	for newCol, oldCol := range idx {
 		sortedVals[newCol] = vals[oldCol]
@@ -152,15 +169,19 @@ func copyMatrix(dst, src *Matrix) {
 // t = sign(τ)/(|τ|+√(1+τ²)), c = 1/√(1+t²), s = t·c, the 2×2 block of the
 // unitary W is [[c, s],[−s·e^{−iφ}, c·e^{−iφ}]] and w ← Wᴴ·w·W.
 func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
-	n := w.Rows()
-	apq := w.At(p, q)
+	n := w.rows
+	wd, vd := w.data, v.data
+	apq := wd[p*n+q]
 	beta := cmplx.Abs(apq)
 	if beta <= skipBelow {
 		return
 	}
-	phase := apq / complex(beta, 0) // e^{iφ}
-	app := real(w.At(p, p))
-	aqq := real(w.At(q, q))
+	// e^{iφ}, divided componentwise: the denominator is the real scalar
+	// β, so runtime complex division (Smith's algorithm) reduces to two
+	// real divides.
+	phase := complex(real(apq)/beta, imag(apq)/beta)
+	app := real(wd[p*n+p])
+	aqq := real(wd[q*n+q])
 
 	tau := (aqq - app) / (2 * beta)
 	var t float64
@@ -177,10 +198,6 @@ func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
 	sPhaseConj := ss * cmplx.Conj(phase) // s·e^{−iφ}
 	cPhaseConj := cc * cmplx.Conj(phase) // c·e^{−iφ}
 
-	// Hot loop: operate on the backing slices directly — this rotation
-	// dominates the cost of every covariance estimation.
-	wd, vd := w.data, v.data
-
 	// w ← Wᴴ·w·W. The working matrix is exactly Hermitian throughout
 	// (the initial symmetrization pairs entries bitwise and every
 	// rotation preserves the pairing), so the updated columns p and q
@@ -196,17 +213,49 @@ func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
 	// Save the 2x2 pivot block before the row pass overwrites it.
 	wpp, wpq := rowP[p], rowP[q]
 	wqp, wqq := rowQ[p], rowQ[q]
-	for k := 0; k < n; k++ {
-		if k == p || k == q {
-			continue
-		}
+	// Hot loop: this rotation dominates the cost of every covariance
+	// estimation. The multipliers c and s are real, so the complex
+	// products cc·wpk and ss·wpk are expanded into their real and
+	// imaginary parts with the zero-imaginary cross terms dropped —
+	// c·re(w) instead of c·re(w) − 0·im(w) — which halves the multiply
+	// count of those products. The strided column-mirror stores use
+	// running offsets instead of recomputing k·n each iteration.
+	spRe, spIm := real(sPhase), imag(sPhase)
+	cpRe, cpIm := real(cPhase), imag(cPhase)
+	rotate := func(k, kp, kq int) {
 		wpk, wqk := rowP[k], rowQ[k]
-		bpk := cc*wpk - sPhase*wqk
-		bqk := ss*wpk + cPhase*wqk
-		rowP[k] = bpk
-		rowQ[k] = bqk
-		wd[k*n+p] = cmplx.Conj(bpk)
-		wd[k*n+q] = cmplx.Conj(bqk)
+		wpRe, wpIm := real(wpk), imag(wpk)
+		wqRe, wqIm := real(wqk), imag(wqk)
+		bpRe := c*wpRe - (spRe*wqRe - spIm*wqIm)
+		bpIm := c*wpIm - (spRe*wqIm + spIm*wqRe)
+		bqRe := s*wpRe + (cpRe*wqRe - cpIm*wqIm)
+		bqIm := s*wpIm + (cpRe*wqIm + cpIm*wqRe)
+		rowP[k] = complex(bpRe, bpIm)
+		rowQ[k] = complex(bqRe, bqIm)
+		wd[kp] = complex(bpRe, -bpIm)
+		wd[kq] = complex(bqRe, -bqIm)
+	}
+	// Walk the three stretches [0,p), (p,q), (q,n) so the loop body
+	// carries no pivot-skip branch (p < q always holds here).
+	kp, kq := p, q
+	for k := 0; k < p; k++ {
+		rotate(k, kp, kq)
+		kp += n
+		kq += n
+	}
+	kp += n
+	kq += n
+	for k := p + 1; k < q; k++ {
+		rotate(k, kp, kq)
+		kp += n
+		kq += n
+	}
+	kp += n
+	kq += n
+	for k := q + 1; k < n; k++ {
+		rotate(k, kp, kq)
+		kp += n
+		kq += n
 	}
 	// 2x2 pivot block: replicate the two-pass arithmetic exactly
 	// ((w·W) restricted to the block, then Wᴴ·(w·W)).
@@ -221,12 +270,16 @@ func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
 	rowP[q] = 0
 	rowQ[p] = 0
 
-	// v ← v·W accumulates eigenvectors.
-	for k := 0; k < n; k++ {
-		row := vd[k*n : k*n+n : k*n+n]
-		vkp, vkq := row[p], row[q]
-		row[p] = cc*vkp - sPhaseConj*vkq
-		row[q] = ss*vkp + cPhaseConj*vkq
+	// v ← v·W accumulates eigenvectors, with the same real-coefficient
+	// expansion as the row pass above.
+	scRe, scIm := real(sPhaseConj), imag(sPhaseConj)
+	ccRe, ccIm := real(cPhaseConj), imag(cPhaseConj)
+	for kp, kq := p, q; kp < len(vd); kp, kq = kp+n, kq+n {
+		vkp, vkq := vd[kp], vd[kq]
+		vpRe, vpIm := real(vkp), imag(vkp)
+		vqRe, vqIm := real(vkq), imag(vkq)
+		vd[kp] = complex(c*vpRe-(scRe*vqRe-scIm*vqIm), c*vpIm-(scRe*vqIm+scIm*vqRe))
+		vd[kq] = complex(s*vpRe+(ccRe*vqRe-ccIm*vqIm), s*vpIm+(ccRe*vqIm+ccIm*vqRe))
 	}
 }
 

@@ -245,21 +245,48 @@ type Estimator struct {
 // current working dimension and reallocated only when it changes (the
 // measurement subspace grows over early TX slots, then stabilizes at
 // min(J·slots, N)).
+//
+// The observation directions are packed once per Estimate call into the
+// dim×L matrix vmat (column j = reduced beam ṽ_j), so every objective
+// and gradient evaluation is a batched kernel: all λ_j come from one
+// Q·V GEMM plus columnwise dots, and the gradient assembles as
+// V·diag(c)·Vᴴ. Total observation-dependent memory is O(dim·L) — the
+// pack and its product buffer — where the old per-observation outer-
+// product cache was O(L·dim²) and grew without bound at Window=0.
 type solverWork struct {
-	dim     int
-	eig     *cmat.EigenWorkspace
-	grad    *cmat.Matrix // gradient accumulator
-	scratch *cmat.Matrix // prox pre-threshold point: base − step·grad
-	cur     *cmat.Matrix // ISTA iterate / FISTA x
-	nxt     *cmat.Matrix // candidate produced by the prox
-	extr    *cmat.Matrix // FISTA extrapolation point y
-	best    *cmat.Matrix // FISTA best-seen iterate
-	diff    *cmat.Matrix // FISTA momentum difference next − x
-	liftCol cmat.Vector  // ambient-dimension column buffer for the lift
-	mulBuf  cmat.Vector  // ambient-dimension buffer for warm-start projection
-	vs      []cmat.Vector  // reduced beams, reused across calls
+	dim      int
+	eig      *cmat.EigenWorkspace
+	grad     *cmat.Matrix  // gradient accumulator
+	scratch  *cmat.Matrix  // prox pre-threshold point: base − step·grad
+	cur      *cmat.Matrix  // ISTA iterate / FISTA x
+	nxt      *cmat.Matrix  // candidate produced by the prox
+	extr     *cmat.Matrix  // FISTA extrapolation point y
+	best     *cmat.Matrix  // FISTA best-seen iterate
+	diff     *cmat.Matrix  // FISTA momentum difference next − x
+	liftCol  cmat.Vector   // ambient-dimension column buffer for the lift
+	mulBuf   cmat.Vector   // ambient-dimension buffer for warm-start projection
+	vs       []cmat.Vector // reduced beams, reused across calls
 	energies []float64     // observation energies, reused across calls
-	outers  []*cmat.Matrix // cached v_j·v_jᴴ rank-one terms, reused across calls
+
+	vmat    *cmat.Matrix // packed reduced beams, dim×L, column j = ṽ_j
+	qv      *cmat.Matrix // product buffer Q·V, dim×L
+	colDots []complex128 // columnwise dots diag(VᴴQV)
+	lambdas []float64    // λ_j(Q) for the matrix tagged by lamFor
+	coefs   []complex128 // gradient coefficients c_j
+	// lamFor tags which matrix wk.lambdas currently describes: the
+	// gradient is always evaluated at a point whose objective was just
+	// computed, so the λ vector can be reused verbatim instead of
+	// re-running the GEMM. Any write to a workspace matrix must clear
+	// the tag via noteWrite.
+	lamFor *cmat.Matrix
+}
+
+// noteWrite invalidates the cached λ vector when the matrix it was
+// computed for is about to be overwritten.
+func (wk *solverWork) noteWrite(m *cmat.Matrix) {
+	if wk.lamFor == m {
+		wk.lamFor = nil
+	}
 }
 
 // work returns the estimator's workspace sized for the given working
@@ -283,7 +310,8 @@ func (e *Estimator) work(dim int) *solverWork {
 		wk.best = cmat.New(dim, dim)
 		wk.diff = cmat.New(dim, dim)
 		wk.vs = nil
-		wk.outers = nil
+		wk.vmat = nil
+		wk.qv = nil
 	}
 	return wk
 }
@@ -314,22 +342,28 @@ func (wk *solverWork) energiesFor(count int) []float64 {
 	return wk.energies
 }
 
-// outersFor returns the cached rank-one terms v_j·v_jᴴ for the given
-// reduced beams, reusing matrix storage across Estimate calls.
-func (wk *solverWork) outersFor(vs []cmat.Vector) []*cmat.Matrix {
-	if cap(wk.outers) < len(vs) {
-		grown := make([]*cmat.Matrix, len(vs))
-		copy(grown, wk.outers[:cap(wk.outers)])
-		wk.outers = grown
+// packV packs the reduced beams into the workspace's dim×L matrix
+// (column j = ṽ_j) and sizes the per-observation buffers, reusing
+// storage across Estimate calls when the shape is unchanged. The λ
+// cache is always invalidated: λ depends on the packed directions.
+func (wk *solverWork) packV(vs []cmat.Vector) {
+	l := len(vs)
+	if wk.vmat == nil || wk.vmat.Rows() != wk.dim || wk.vmat.Cols() != l {
+		wk.vmat = cmat.New(wk.dim, l)
+		wk.qv = cmat.New(wk.dim, l)
 	}
-	wk.outers = wk.outers[:len(vs)]
 	for j, v := range vs {
-		if wk.outers[j] == nil || wk.outers[j].Rows() != len(v) {
-			wk.outers[j] = cmat.New(len(v), len(v))
-		}
-		wk.outers[j].SetOuter(v, v)
+		wk.vmat.SetCol(j, v)
 	}
-	return wk.outers
+	if cap(wk.colDots) < l {
+		wk.colDots = make([]complex128, l)
+		wk.lambdas = make([]float64, l)
+		wk.coefs = make([]complex128, l)
+	}
+	wk.colDots = wk.colDots[:l]
+	wk.lambdas = wk.lambdas[:l]
+	wk.coefs = wk.coefs[:l]
+	wk.lamFor = nil
 }
 
 // NewEstimator creates an estimator for an N-antenna receiver. Returns
@@ -471,9 +505,9 @@ func (e *Estimator) solve(ctx context.Context, obs []Observation, warm *cmat.Mat
 		}
 	}
 
-	// Precompute the rank-one terms v_j·v_jᴴ once: they are reused by
-	// every gradient evaluation.
-	outers := wk.outersFor(vs)
+	// Pack the observation directions once: every objective and
+	// gradient evaluation reuses the dim×L matrix in batched kernels.
+	wk.packV(vs)
 
 	e.initialInto(wk.cur, vs, ws, warm, basis, dim, wk)
 	stats := Stats{SubspaceDim: dim}
@@ -481,9 +515,9 @@ func (e *Estimator) solve(ctx context.Context, obs []Observation, warm *cmat.Mat
 	var obj float64
 	var err error
 	if e.opts.Accelerated {
-		q, obj, err = e.fistaLoop(ctx, wk, vs, ws, outers, &stats)
+		q, obj, err = e.fistaLoop(ctx, wk, ws, &stats)
 	} else {
-		q, obj, err = e.istaLoop(ctx, wk, vs, ws, outers, &stats)
+		q, obj, err = e.istaLoop(ctx, wk, ws, &stats)
 	}
 	if q == nil {
 		return nil, stats, err
@@ -584,17 +618,18 @@ func rankOfSpectrum(vals []float64, tol float64) int {
 // non-decreasing trial, so the iterate can never go non-finite. A
 // cancelled context stops at the next iteration boundary and the
 // current iterate is returned with the context's error.
-func (e *Estimator) istaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+func (e *Estimator) istaLoop(ctx context.Context, wk *solverWork, ws []float64, stats *Stats) (*cmat.Matrix, float64, error) {
 	diag := &stats.Diagnostics
 	q := wk.cur
-	obj := e.objective(q, vs, ws)
+	obj := e.objective(q, wk, ws)
 	stats.ObjectiveEvals++
 	if !isFinite(obj) {
 		// A poisoned warm start (or a pathological back-projection) is
 		// unrecoverable by descent: restart from the zero matrix, whose
 		// objective is always finite for validated observations.
+		wk.noteWrite(q)
 		q.Zero()
-		obj = e.objective(q, vs, ws)
+		obj = e.objective(q, wk, ws)
 		stats.ObjectiveEvals++
 		diag.Recovered = true
 	}
@@ -605,7 +640,7 @@ func (e *Estimator) istaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vect
 			diag.Reason = StopCancelled
 			return q, obj, ctx.Err()
 		}
-		if ok := e.gradientInto(wk.grad, q, vs, ws, outers); !ok {
+		if ok := e.gradientInto(wk.grad, q, wk, ws); !ok {
 			diag.Reason = StopNonFinite
 			diag.Recovered = true
 			return q, obj, nil
@@ -619,7 +654,7 @@ func (e *Estimator) istaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vect
 				diag.Recovered = true
 				return q, obj, nil
 			}
-			nextObj := e.objective(wk.nxt, vs, ws)
+			nextObj := e.objective(wk.nxt, wk, ws)
 			stats.ObjectiveEvals++
 			if !isFinite(nextObj) {
 				sawNonFinite = true
@@ -678,20 +713,23 @@ func isFinite(f float64) bool {
 // past the best value (divergence, possible here because acceptance is
 // not monotone) stops the loop after a bounded number of forced
 // restarts. The returned iterate is always the best finite one seen.
-func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix, stats *Stats) (*cmat.Matrix, float64, error) {
+func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, ws []float64, stats *Stats) (*cmat.Matrix, float64, error) {
 	diag := &stats.Diagnostics
 	x := wk.cur
 	y := wk.extr
-	obj := e.objective(x, vs, ws)
+	obj := e.objective(x, wk, ws)
 	stats.ObjectiveEvals++
 	if !isFinite(obj) {
+		wk.noteWrite(x)
 		x.Zero()
-		obj = e.objective(x, vs, ws)
+		obj = e.objective(x, wk, ws)
 		stats.ObjectiveEvals++
 		diag.Recovered = true
 	}
+	wk.noteWrite(y)
 	y.CopyFrom(x)
 	best := wk.best
+	wk.noteWrite(best)
 	best.CopyFrom(x)
 	bestObj := obj
 	step := e.opts.InitStep
@@ -710,14 +748,16 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 		// The extrapolated point y is fixed for the whole backtracking
 		// search, so its objective is loop-invariant: evaluate it once
 		// per outer iteration, not once per trial.
-		objY := e.objective(y, vs, ws)
+		objY := e.objective(y, wk, ws)
 		stats.ObjectiveEvals++
 		if !isFinite(objY) {
 			// Momentum overshot into non-finite territory: restart from
 			// the best iterate (whose objective is finite by
 			// construction) with the momentum killed.
 			tMom = 1
+			wk.noteWrite(y)
 			y.CopyFrom(best)
+			wk.noteWrite(x)
 			x.CopyFrom(best)
 			obj = bestObj
 			step /= 2
@@ -728,7 +768,7 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 			}
 			continue
 		}
-		if ok := e.gradientInto(wk.grad, y, vs, ws, outers); !ok {
+		if ok := e.gradientInto(wk.grad, y, wk, ws); !ok {
 			diag.Reason = StopNonFinite
 			diag.Recovered = true
 			return best, bestObj, nil
@@ -743,7 +783,7 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 				diag.Recovered = true
 				return best, bestObj, nil
 			}
-			candObj := e.objective(wk.nxt, vs, ws)
+			candObj := e.objective(wk.nxt, wk, ws)
 			stats.ObjectiveEvals++
 			if !isFinite(candObj) {
 				sawNonFinite = true
@@ -783,7 +823,9 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 			// three such restarts.
 			diag.DivergenceRestarts++
 			tMom = 1
+			wk.noteWrite(y)
 			y.CopyFrom(best)
+			wk.noteWrite(x)
 			x.CopyFrom(best)
 			obj = bestObj
 			step /= 4
@@ -798,7 +840,9 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 			// Adaptive restart: kill the momentum and retry from the
 			// best point seen.
 			tMom = 1
+			wk.noteWrite(y)
 			y.CopyFrom(best)
+			wk.noteWrite(x)
 			x.CopyFrom(best)
 			obj = bestObj
 			continue
@@ -809,12 +853,15 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 		// y = next + momentum·(next − x), then adopt the candidate as
 		// the new iterate by pointer swap (its old storage becomes the
 		// next prox target).
+		wk.noteWrite(wk.diff)
 		wk.diff.SubInto(wk.nxt, x)
+		wk.noteWrite(y)
 		y.AddScaledInto(wk.nxt, momentum, wk.diff)
 		x, wk.nxt = wk.nxt, x
 		wk.cur = x // keep cur/nxt distinct for the next call
 		obj, tMom = nextObj, tNext
 		if obj < bestObj {
+			wk.noteWrite(best)
 			best.CopyFrom(x)
 			bestObj = obj
 		}
@@ -832,9 +879,11 @@ func (e *Estimator) fistaLoop(ctx context.Context, wk *solverWork, vs []cmat.Vec
 // wk.scratch and the eigendecomposition runs in the shared workspace,
 // so the step allocates nothing.
 func (e *Estimator) proxStepInto(wk *solverWork, base *cmat.Matrix, step float64, stats *Stats) error {
+	wk.noteWrite(wk.scratch)
 	wk.scratch.AddScaledInto(base, complex(-step, 0), wk.grad)
 	wk.scratch.HermitianizeInPlace()
 	stats.EigenDecomps++
+	wk.noteWrite(wk.nxt)
 	if err := cmat.EigenSoftThresholdPSDInto(wk.eig, wk.nxt, wk.scratch, step*e.opts.Mu); err != nil {
 		return fmt.Errorf("covest: prox step: %w", err)
 	}
@@ -872,31 +921,59 @@ func (e *Estimator) initialInto(dst *cmat.Matrix, vs []cmat.Vector, ws []float64
 	dst.HermitianizeInPlace()
 }
 
-// lambda returns λ_j(Q) = γ·v_jᴴQv_j + 1, floored slightly above zero so
-// a transiently indefinite iterate cannot produce log of a non-positive
-// number.
-func (e *Estimator) lambda(q *cmat.Matrix, v cmat.Vector) float64 {
-	l := e.opts.Gamma*q.QuadForm(v) + 1
-	if l < 1e-9 {
-		return 1e-9
+// lambdaFloor is the shared guardrail under every λ evaluation: λ is
+// floored slightly above zero so a transiently indefinite iterate
+// cannot produce log of a non-positive number. The solver's objective,
+// its gradient, and the µ-selection validation scorer all go through
+// flooredLambda so the guardrail cannot drift between them.
+const lambdaFloor = 1e-9
+
+// flooredLambda returns λ = γ·quad + 1 floored at lambdaFloor, where
+// quad is the quadratic form vᴴQv.
+func flooredLambda(gamma, quad float64) float64 {
+	l := gamma*quad + 1
+	if l < lambdaFloor {
+		return lambdaFloor
 	}
 	return l
 }
 
-// objective evaluates the penalized negative log-likelihood.
-func (e *Estimator) objective(q *cmat.Matrix, vs []cmat.Vector, ws []float64) float64 {
+// lambdasFor returns λ_j(Q) for every packed observation direction,
+// evaluated in one batch: Q·V with a single GEMM, then columnwise dots
+// ṽ_jᴴ(Q·ṽ_j). Per column the accumulation order matches the scalar
+// QuadForm exactly, so each λ_j is bitwise identical to the
+// per-observation evaluation it replaces. The result is memoized for
+// the matrix it was computed on (cleared by noteWrite), which lets the
+// gradient reuse the λ vector its caller just computed for the
+// objective at the same point.
+func (e *Estimator) lambdasFor(q *cmat.Matrix, wk *solverWork) []float64 {
+	if wk.lamFor == q {
+		return wk.lambdas
+	}
+	wk.qv.MulInto(q, wk.vmat)
+	cmat.ColumnDotsInto(wk.colDots, wk.vmat, wk.qv)
+	for j, d := range wk.colDots {
+		wk.lambdas[j] = flooredLambda(e.opts.Gamma, real(d))
+	}
+	wk.lamFor = q
+	return wk.lambdas
+}
+
+// objective evaluates the penalized negative log-likelihood using the
+// batched λ kernel.
+func (e *Estimator) objective(q *cmat.Matrix, wk *solverWork, ws []float64) float64 {
+	ls := e.lambdasFor(q, wk)
 	var f float64
 	switch e.opts.Kind {
 	case Aggregate:
 		var s, w float64
-		for j, v := range vs {
-			s += e.lambda(q, v)
+		for j, l := range ls {
+			s += l
 			w += ws[j]
 		}
 		f = math.Log(s) + w/s
 	default:
-		for j, v := range vs {
-			l := e.lambda(q, v)
+		for j, l := range ls {
 			f += math.Log(l) + ws[j]/l
 		}
 	}
@@ -904,36 +981,39 @@ func (e *Estimator) objective(q *cmat.Matrix, vs []cmat.Vector, ws []float64) fl
 	return f + e.opts.Mu*real(q.Trace())
 }
 
-// gradientInto accumulates ∇f(Q) into g (without the penalty term,
-// which is handled by the proximal operator). outers caches v_j·v_jᴴ.
-// It reports false when any rank-one coefficient is NaN/Inf — the O(1)
-// guardrail (per coefficient already being computed) that keeps a
-// poisoned gradient from ever reaching the prox step.
-func (e *Estimator) gradientInto(g, q *cmat.Matrix, vs []cmat.Vector, ws []float64, outers []*cmat.Matrix) bool {
-	g.Zero()
+// gradientInto writes ∇f(Q) into g (without the penalty term, which is
+// handled by the proximal operator), assembled as the batched product
+// V·diag(c)·Vᴴ — per entry an ordered sum of c_j·(ṽ_j·ṽ_jᴴ) terms,
+// bitwise identical to the rank-one accumulation it replaces. It
+// reports false when any coefficient is NaN/Inf — the O(1) guardrail
+// (per coefficient already being computed) that keeps a poisoned
+// gradient from ever reaching the prox step.
+func (e *Estimator) gradientInto(g, q *cmat.Matrix, wk *solverWork, ws []float64) bool {
+	ls := e.lambdasFor(q, wk)
 	switch e.opts.Kind {
 	case Aggregate:
 		var s, w float64
-		for j, v := range vs {
-			s += e.lambda(q, v)
+		for j, l := range ls {
+			s += l
 			w += ws[j]
 		}
 		coef := (1/s - w/(s*s)) * e.opts.Gamma
 		if !isFinite(coef) {
 			return false
 		}
-		for j := range vs {
-			g.AddInPlace(complex(coef, 0), outers[j])
+		for j := range wk.coefs {
+			wk.coefs[j] = complex(coef, 0)
 		}
 	default:
-		for j, v := range vs {
-			l := e.lambda(q, v)
+		for j, l := range ls {
 			coef := (1/l - ws[j]/(l*l)) * e.opts.Gamma
 			if !isFinite(coef) {
 				return false
 			}
-			g.AddInPlace(complex(coef, 0), outers[j])
+			wk.coefs[j] = complex(coef, 0)
 		}
 	}
+	wk.noteWrite(g)
+	g.MulDiagHermInto(wk.vmat, wk.coefs, wk.vmat)
 	return true
 }

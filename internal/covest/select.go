@@ -52,23 +52,42 @@ func SelectMu(n int, obs []Observation, opts Options, grid []float64) (float64, 
 			return 0, fmt.Errorf("covest: µ=%g: %w", mu, err)
 		}
 		score := validationNLL(qhat, valid, o.Gamma)
-		// Prefer the larger µ on (near-)ties: same fit with a simpler
-		// model.
-		if score < bestScore-1e-12 || (math.Abs(score-bestScore) <= 1e-12 && mu > bestMu) {
+		if muImproves(score, bestScore, mu, bestMu) {
 			bestMu, bestScore = mu, score
 		}
 	}
 	return bestMu, nil
 }
 
-// validationNLL scores an estimate against held-out energies.
+// muImproves decides whether a candidate (mu, score) displaces the
+// incumbent: a clearly better validation score always wins, and on
+// near-ties the larger µ wins (same fit with a simpler model). The
+// near-tie band is relative — 1e-12·max(1, |bestScore|) — because the
+// validation NLL is an unnormalized sum that grows linearly with the
+// holdout size; an absolute 1e-12 band would make the prefer-larger-µ
+// rule unreachable for realistic observation counts.
+func muImproves(score, bestScore, mu, bestMu float64) bool {
+	if math.IsInf(bestScore, 1) {
+		// No incumbent yet: any finite score wins; an infinite score
+		// ties and defers to the larger µ, which every positive grid
+		// entry satisfies against the zero sentinel.
+		return score < bestScore || mu > bestMu
+	}
+	tol := 1e-12 * math.Max(1, math.Abs(bestScore))
+	if score < bestScore-tol {
+		return true
+	}
+	return math.Abs(score-bestScore) <= tol && mu > bestMu
+}
+
+// validationNLL scores an estimate against held-out energies with the
+// same floored-λ rule the solver optimizes (flooredLambda), so the
+// selection scorer and the estimator cannot disagree about degenerate
+// estimates.
 func validationNLL(q *cmat.Matrix, valid []Observation, gamma float64) float64 {
 	var s float64
 	for _, o := range valid {
-		lambda := gamma*q.QuadForm(o.V) + 1
-		if lambda < 1e-9 {
-			lambda = 1e-9
-		}
+		lambda := flooredLambda(gamma, q.QuadForm(o.V))
 		s += math.Log(lambda) + o.Energy/lambda
 	}
 	return s

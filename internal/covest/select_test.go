@@ -122,3 +122,52 @@ func TestValidationNLLPrefersTrueCovariance(t *testing.T) {
 		t.Errorf("true Q scored %g, zero scored %g; true should win", tn, zn)
 	}
 }
+
+func TestMuImprovesRelativeTieBreak(t *testing.T) {
+	// The near-tie band must scale with the score magnitude: an
+	// unnormalized NLL of ~1e6 differs between equivalent fits by far
+	// more than an absolute 1e-12, which made the prefer-larger-µ rule
+	// unreachable before the fix.
+	base := 1.0e6
+	cases := []struct {
+		name                 string
+		score, best, mu, bmu float64
+		want                 bool
+	}{
+		{"clear win", base - 1, base, 0.1, 1, true},
+		{"clear loss", base + 1, base, 10, 1, false},
+		{"near-tie larger mu wins", base + 1e-8, base, 10, 1, true},
+		{"near-tie smaller mu loses", base - 1e-8, base, 0.1, 1, false},
+		{"exact tie larger mu wins", base, base, 10, 1, true},
+		{"exact tie smaller mu loses", base, base, 0.1, 1, false},
+		{"first candidate vs +Inf sentinel", base, math.Inf(1), 0.1, 0, true},
+		{"infinite score still beats sentinel on mu", math.Inf(1), math.Inf(1), 0.1, 0, true},
+		{"small scores keep absolute band tie", 1e-13, 0.0, 10, 1, true},
+		{"small scores outside band lose", 2e-12, 0.0, 10, 1, false},
+	}
+	for _, c := range cases {
+		if got := muImproves(c.score, c.best, c.mu, c.bmu); got != c.want {
+			t.Errorf("%s: muImproves(%g, %g, %g, %g) = %v, want %v",
+				c.name, c.score, c.best, c.mu, c.bmu, got, c.want)
+		}
+	}
+}
+
+func TestSelectMuTieBreakPrefersLargerMuAtScale(t *testing.T) {
+	// Two grid entries that produce identical estimates (duplicated µ)
+	// must resolve to the larger value even when the validation NLL is
+	// large, which the old absolute 1e-12 threshold could not do.
+	n := 4
+	obs := make([]Observation, 40)
+	for i := range obs {
+		// Large energies inflate the NLL so |bestScore| >> 1.
+		obs[i] = Observation{V: unitVec(n, i%n), Energy: 1e7}
+	}
+	mu, err := SelectMu(n, obs, Options{Gamma: 1}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu != 2 {
+		t.Fatalf("SelectMu = %g, want 2", mu)
+	}
+}
