@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"mmwalign"
@@ -26,6 +28,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beamalign:", err)
 		os.Exit(1)
 	}
+}
+
+// backoff returns the capped exponential retry delay: base doubling
+// per attempt, capped at 100× base.
+func backoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < 100*base; i++ {
+		d *= 2
+	}
+	if d > 100*base {
+		d = 100 * base
+	}
+	return d
 }
 
 func run() error {
@@ -41,13 +59,19 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print the loss trajectory")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		maxFailed = flag.Int("max-failed-drops", 0, "retry budget: re-run a failed alignment up to this many times with fresh randomness")
+		retries   = flag.Int("retries", 0, "alias for the retry budget (takes precedence over -max-failed-drops when set)")
+		retryWait = flag.Duration("retry-backoff", 0, "delay before the first retry, doubling per attempt (capped at 100x)")
 		progress  = flag.Bool("progress", true, "print a live heartbeat on stderr while a long run is in flight")
 		counters  = flag.Bool("counters", false, "print phase timings, counters and solver aggregates to stderr and publish them via expvar")
 		pprofPfx  = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	)
 	flag.Parse()
 
-	ctx := context.Background()
+	// Graceful shutdown: SIGINT/SIGTERM cancels the run at the next
+	// measurement or estimation boundary instead of killing the process
+	// mid-solve; a second signal kills it the hard way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -127,6 +151,10 @@ func run() error {
 	// Each retry re-runs on the same channel with fresh measurement noise
 	// and strategy randomness; cancellation and deadline errors are not
 	// retryable.
+	budgetRetries := *maxFailed
+	if *retries > 0 {
+		budgetRetries = *retries
+	}
 	var res mmwalign.Result
 	for attempt := 0; ; attempt++ {
 		res, err = link.AlignContext(ctx, mmwalign.Scheme(*scheme), b, mmwalign.AlignOptions{J: *j})
@@ -134,12 +162,24 @@ func run() error {
 			break
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("interrupted: %w", err)
+			}
 			return fmt.Errorf("timed out after %v: %w", *timeout, err)
 		}
-		if attempt >= *maxFailed {
+		if attempt >= budgetRetries {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "beamalign: attempt %d failed (%v), retrying\n", attempt+1, err)
+		if delay := backoff(*retryWait, attempt); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("interrupted during retry backoff: %w", ctx.Err())
+			case <-t.C:
+			}
+		}
 	}
 
 	if *counters {

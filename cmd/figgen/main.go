@@ -7,6 +7,16 @@
 //	figgen -all -drops 100 -outdir results/
 //	figgen -fig 5 -strict -inject nan=0.3 -max-failed-drops 2
 //	figgen -fig 7 -pprof prof/fig7 -counters
+//	figgen -fig 6 -drops 500 -checkpoint fig6.journal       # long run, crash-safe
+//	figgen -fig 6 -drops 500 -checkpoint fig6.journal -resume
+//	figgen -checkpoint-inspect fig6.journal                 # is a resume safe?
+//
+// With -checkpoint, every completed (drop, scheme) cell is fsynced to
+// an append-only journal; Ctrl-C (or SIGTERM) cancels the workers
+// gracefully, flushes the journal, and prints the exact -resume
+// invocation. A resumed run skips the journaled cells and produces
+// byte-identical CSVs to an uninterrupted run; the journal refuses to
+// resume across a changed configuration (canonical config-hash check).
 //
 // The output CSV has one row per sweep point and one column per scheme;
 // the same data is printed as an aligned table and an ASCII plot on
@@ -18,20 +28,24 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/experiment"
 	"mmwalign/internal/faultinject"
+	"mmwalign/internal/journal"
 	"mmwalign/internal/meas"
 	"mmwalign/internal/metrics"
 	"mmwalign/internal/obs"
@@ -69,13 +83,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		manifest   = fs.Bool("manifest", true, "write a <fig>.manifest.json run manifest next to each CSV")
 		counters   = fs.Bool("counters", false, "print the instrumentation snapshot to stderr and publish it via expvar")
 		pprofPfx   = fs.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
-		inject     = fs.String("inject", "", "fault-injection spec, e.g. nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2")
+		inject     = fs.String("inject", "", "fault-injection spec, e.g. nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2,fail-attempts=1")
+		checkpoint = fs.String("checkpoint", "", "crash-safe run journal path: completed cells are fsynced so an interrupted run can -resume (with -all, one journal per figure at <path>.<fig>)")
+		resume     = fs.Bool("resume", false, "resume from the -checkpoint journal, skipping already-completed cells (refused if the configuration changed)")
+		retries    = fs.Int("retries", 0, "re-run a failed (drop, scheme) cell up to N times before it consumes the -max-failed-drops budget")
+		retryWait  = fs.Duration("retry-backoff", 0, "delay before the first retry of a cell, doubling per attempt (capped)")
+		inspect    = fs.String("checkpoint-inspect", "", "print a journal's header, completed-cell count and pending cells, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ctx := context.Background()
+	if *inspect != "" {
+		return inspectCheckpoint(*inspect, stdout)
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the context,
+	// which stops spawning cells and drains the in-flight workers; every
+	// cell that finished is already fsynced to the journal, so the
+	// "resume with …" hint below is honest the moment it prints. A
+	// second signal kills the process the hard way (signal.NotifyContext
+	// unregisters on stop).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -84,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if !*all && (*fig < 5 || *fig > 8) {
 		return fmt.Errorf("pass -fig 5..8 or -all")
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint <path>")
 	}
 
 	cfg := experiment.Config{
@@ -94,6 +127,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		J:              *j,
 		Mu:             *mu,
 		MaxFailedDrops: *maxFailed,
+		MaxRetries:     *retries,
+		RetryBackoff:   *retryWait,
 	}
 	if *schemes != "" {
 		cfg.Schemes = splitComma(*schemes)
@@ -153,9 +188,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fctx = obs.Into(ctx, rec)
 		}
 
+		fcfg := cfg
+		var jpath string
+		if *checkpoint != "" {
+			jpath = *checkpoint
+			if *all {
+				// One journal per figure: cells of different figures are
+				// not interchangeable even when their configs hash alike.
+				jpath = fmt.Sprintf("%s.fig%d", *checkpoint, f)
+			}
+			jnl, err := openJournal(jpath, f, cfg, *resume, stderr)
+			if err != nil {
+				return err
+			}
+			defer jnl.Close()
+			fcfg.Journal = jnl
+		}
+
 		start := time.Now()
-		result, err := experiment.GenerateContext(fctx, f, cfg)
+		result, err := experiment.GenerateContext(fctx, f, fcfg)
 		if err != nil {
+			if ctx.Err() != nil && jpath != "" {
+				// The journal is already flushed (each cell fsyncs), so
+				// the hint is safe to act on immediately.
+				fmt.Fprintf(stderr, "figgen: interrupted — resume with: figgen -fig %d -drops %d -seed %d -checkpoint %s -resume\n",
+					f, *drops, *seed, jpath)
+			}
 			return err
 		}
 		fmt.Fprintf(stdout, "== %s (%s) — %d drops, %v ==\n", result.ID, result.Title, *drops, time.Since(start).Round(time.Millisecond))
@@ -241,14 +299,103 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// openJournal attaches the checkpoint journal for one figure run:
+// resuming validates the existing file against the run's canonical
+// config hash (a mismatch is a refusal, not a warning), anything else
+// starts a fresh journal.
+func openJournal(path string, fig int, cfg experiment.Config, resume bool, stderr io.Writer) (*journal.Journal, error) {
+	want, err := experiment.JournalHeader(fig, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if resume {
+		if _, statErr := os.Stat(path); statErr == nil {
+			j, err := journal.Open(path, want)
+			if err != nil {
+				return nil, fmt.Errorf("resume %s: %w", path, err)
+			}
+			if hv := j.Header().Version; hv != "" && want.Version != "" && hv != want.Version {
+				// Version drift is informational: results are determined
+				// by the config, which the hash already vouched for.
+				fmt.Fprintf(stderr, "figgen: note: journal written by engine %s, resuming with %s\n", hv, want.Version)
+			}
+			fmt.Fprintf(stderr, "figgen: resuming fig%d from %s: %d of %d cells already complete\n",
+				fig, path, j.Len(), want.Drops*len(want.Schemes))
+			return j, nil
+		} else if !errors.Is(statErr, os.ErrNotExist) {
+			return nil, fmt.Errorf("resume %s: %w", path, statErr)
+		}
+		fmt.Fprintf(stderr, "figgen: -resume: no journal at %s yet, starting fresh\n", path)
+	} else if _, statErr := os.Stat(path); statErr == nil {
+		fmt.Fprintf(stderr, "figgen: overwriting existing checkpoint %s (pass -resume to continue it)\n", path)
+	}
+	want.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	return journal.Create(path, want)
+}
+
+// inspectCheckpoint prints a journal's header, completion tally, and
+// pending cells — the pre-flight check for deciding whether a resume
+// is safe (and how much work it will save).
+func inspectCheckpoint(path string, stdout io.Writer) error {
+	h, done, torn, err := journal.Inspect(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint-inspect: %w", err)
+	}
+	fmt.Fprintf(stdout, "journal:      %s\n", path)
+	fmt.Fprintf(stdout, "schema:       %s\n", h.Schema)
+	fmt.Fprintf(stdout, "figure:       %s\n", h.Figure)
+	fmt.Fprintf(stdout, "config hash:  %s\n", h.ConfigHash)
+	if h.Version != "" {
+		fmt.Fprintf(stdout, "engine:       %s\n", h.Version)
+	}
+	if h.CreatedAt != "" {
+		fmt.Fprintf(stdout, "created:      %s\n", h.CreatedAt)
+	}
+	fmt.Fprintf(stdout, "seed:         %d\n", h.Seed)
+	fmt.Fprintf(stdout, "shape:        %d drops × %d schemes (%s)\n", h.Drops, len(h.Schemes), strings.Join(h.Schemes, ","))
+	total := h.Drops * len(h.Schemes)
+	fmt.Fprintf(stdout, "completed:    %d of %d cells\n", len(done), total)
+	if torn {
+		fmt.Fprintf(stdout, "torn tail:    yes (last record was cut mid-write; resume will truncate and re-run that cell)\n")
+	}
+	completed := make(map[journal.CellKey]bool, len(done))
+	for _, k := range done {
+		completed[k] = true
+	}
+	var pending []string
+	for drop := 0; drop < h.Drops; drop++ {
+		for _, scheme := range h.Schemes {
+			if !completed[journal.CellKey{Drop: drop, Scheme: scheme}] {
+				pending = append(pending, fmt.Sprintf("%d/%s", drop, scheme))
+			}
+		}
+	}
+	if len(pending) == 0 {
+		fmt.Fprintf(stdout, "pending:      none — a resume replays entirely from the journal\n")
+		return nil
+	}
+	const show = 16
+	list := pending
+	suffix := ""
+	if len(list) > show {
+		list = list[:show]
+		suffix = fmt.Sprintf(" … and %d more", len(pending)-show)
+	}
+	fmt.Fprintf(stdout, "pending:      %d cells: %s%s\n", len(pending), strings.Join(list, " "), suffix)
+	return nil
+}
+
 // parseInjectSpec converts a "key=value,..." fault spec into a
 // WrapSounder hook. Probability keys nan, inf, outlier and drop are per
 // measurement; block-after and seed configure blockage and the fault
 // stream; panic-drop=N panics on drop N's first measurement — the knob
-// the CI strict-mode smoke uses to produce a genuinely failed drop.
+// the CI strict-mode smoke uses to produce a genuinely failed drop;
+// fail-attempts=N makes the first N attempts of every cell panic, the
+// transient fault that only a -retries budget survives.
 func parseInjectSpec(spec string) (func(drop int, scheme string, p meas.Prober) meas.Prober, error) {
 	var fcfg faultinject.Config
 	panicDrop := -1
+	failAttempts := 0
 	for _, kv := range splitComma(spec) {
 		key, val, ok := strings.Cut(kv, "=")
 		if !ok {
@@ -288,13 +435,26 @@ func parseInjectSpec(spec string) (func(drop int, scheme string, p meas.Prober) 
 				return nil, fmt.Errorf("inject: panic-drop=%q is not a drop index", val)
 			}
 			panicDrop = n
+		case "fail-attempts":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("inject: fail-attempts=%q is not a count", val)
+			}
+			failAttempts = n
 		default:
 			return nil, fmt.Errorf("inject: unknown key %q", key)
 		}
 	}
 	wrap := faultinject.Wrap(fcfg)
+	var transient func(drop int, scheme string, p meas.Prober) meas.Prober
+	if failAttempts > 0 {
+		transient = faultinject.WrapTransient(failAttempts, faultinject.TransientPanic)
+	}
 	return func(drop int, scheme string, p meas.Prober) meas.Prober {
 		p = wrap(drop, scheme, p)
+		if transient != nil {
+			p = transient(drop, scheme, p)
+		}
 		if drop == panicDrop {
 			return &panicProber{Prober: p}
 		}

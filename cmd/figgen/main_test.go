@@ -92,12 +92,131 @@ func TestInstrumentationIsByteIdentical(t *testing.T) {
 func TestParseInjectSpecRejectsMalformedSpecs(t *testing.T) {
 	for _, spec := range []string{
 		"nan", "nan=2", "nan=-0.1", "unknown=1", "panic-drop=x", "panic-drop=-1", "block-after=no", "seed=1.5",
+		"fail-attempts=x", "fail-attempts=-1",
 	} {
 		if _, err := parseInjectSpec(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}
-	if _, err := parseInjectSpec("nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2"); err != nil {
+	if _, err := parseInjectSpec("nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2,fail-attempts=1"); err != nil {
 		t.Errorf("full valid spec rejected: %v", err)
+	}
+}
+
+func TestCheckpointResumeProducesByteIdenticalCSV(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "fig5.journal")
+	clean := filepath.Join(dir, "clean.csv")
+	resumed := filepath.Join(dir, "resumed.csv")
+	common := []string{"-fig", "5", "-drops", "3", "-schemes", "random,scan", "-progress=false"}
+	var sink bytes.Buffer
+
+	if err := run(append(common, "-out", clean, "-manifest=false"), &sink, &sink); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	// Crash: drop 1 panics under the strict default budget, with the
+	// journal armed. The run fails but the completed cells are on disk.
+	var crashErr bytes.Buffer
+	if err := run(append(common, "-out", filepath.Join(dir, "crashed.csv"), "-manifest=false",
+		"-checkpoint", jpath, "-inject", "panic-drop=1"), &sink, &crashErr); err == nil {
+		t.Fatal("injected panic did not fail the checkpointed run")
+	}
+	if _, err := os.Stat(jpath); err != nil {
+		t.Fatalf("crashed run left no journal: %v", err)
+	}
+
+	// Resume without the fault: the CSV must match the clean run byte
+	// for byte, and the manifest must carry the resume evidence.
+	var stderr bytes.Buffer
+	if err := run(append(common, "-out", resumed, "-checkpoint", jpath, "-resume"), &sink, &stderr); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "resuming fig5 from") {
+		t.Errorf("resume did not announce the journal:\n%s", stderr.String())
+	}
+	a, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- clean ---\n%s\n--- resumed ---\n%s", a, b)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "resumed.manifest.json"))
+	if err != nil {
+		t.Fatalf("resumed manifest not written: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("resumed manifest invalid: %v", err)
+	}
+	if m.Resume == nil || m.Resume.SkippedCells == 0 || m.Resume.Journal != jpath {
+		t.Errorf("manifest resume evidence = %+v, want skipped cells from %s", m.Resume, jpath)
+	}
+}
+
+func TestCheckpointInspect(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "fig5.journal")
+	var sink bytes.Buffer
+	// Produce a partial journal via an injected crash.
+	run([]string{"-fig", "5", "-drops", "3", "-schemes", "random,scan", "-progress=false",
+		"-out", filepath.Join(dir, "x.csv"), "-manifest=false",
+		"-checkpoint", jpath, "-inject", "panic-drop=1"}, &sink, &sink)
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-checkpoint-inspect", jpath}, &stdout, &sink); err != nil {
+		t.Fatalf("checkpoint-inspect: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"figure:       fig5", "config hash:", "3 drops × 2 schemes", "completed:", "pending:", "1/random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := run([]string{"-checkpoint-inspect", filepath.Join(dir, "missing.journal")}, &stdout, &sink); err == nil {
+		t.Error("inspect of a missing journal succeeded")
+	}
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	var sink bytes.Buffer
+	err := run([]string{"-fig", "5", "-resume"}, &sink, &sink)
+	if err == nil || !strings.Contains(err.Error(), "-resume requires -checkpoint") {
+		t.Errorf("-resume without -checkpoint returned %v", err)
+	}
+}
+
+func TestRetriesAbsorbTransientInjection(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	// Every cell's first attempt panics; -retries 1 must absorb all of
+	// it under the strict zero-failure budget.
+	err := run([]string{
+		"-fig", "5", "-drops", "2", "-schemes", "random,scan",
+		"-out", filepath.Join(dir, "fig5.csv"),
+		"-inject", "fail-attempts=1", "-retries", "1", "-strict", "-progress=false",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("transient faults defeated -retries: %v\nstderr:\n%s", err, stderr.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m.Retries == nil || m.Retries.RecoveredCells == 0 {
+		t.Errorf("manifest retry evidence = %+v, want recovered cells", m.Retries)
+	}
+	if m.Failures != nil {
+		t.Errorf("recovered run still reports failures: %+v", m.Failures)
 	}
 }

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"time"
 
 	"mmwalign/internal/experiment"
+	"mmwalign/internal/journal"
 	"mmwalign/internal/obs"
 )
 
@@ -105,8 +108,38 @@ type RunManifest struct {
 	Phases   []RunPhase
 	Counters map[string]int64
 	Solver   RunSolverStats
+	// Resume and Retries carry the robustness evidence of the run:
+	// how many cells a checkpoint journal satisfied, and what the
+	// per-cell retry engine absorbed. Nil when the corresponding
+	// machinery was not engaged.
+	Resume  *RunResume
+	Retries *RunRetries
 
 	raw *obs.Manifest
+}
+
+// RunResume mirrors the manifest's checkpoint/resume evidence.
+type RunResume struct {
+	// Journal is the checkpoint file path; ConfigHash the canonical
+	// config hash it was validated against.
+	Journal    string
+	ConfigHash string
+	// SkippedCells were satisfied from the journal, RecordedCells newly
+	// appended, out of TotalCells.
+	SkippedCells  int
+	RecordedCells int
+	TotalCells    int
+}
+
+// RunRetries mirrors the manifest's retry-engine evidence.
+type RunRetries struct {
+	// MaxRetries is the configured per-cell budget; Attempts the
+	// re-runs performed; RecoveredCells the transient failures rescued;
+	// ExhaustedCells the permanent failures that burned every retry.
+	MaxRetries     int
+	Attempts       int64
+	RecoveredCells int64
+	ExhaustedCells int64
 }
 
 // WriteJSON writes the manifest in its canonical schema-validated JSON
@@ -138,6 +171,23 @@ func newRunManifest(src *obs.Manifest) *RunManifest {
 	for _, p := range src.Phases {
 		m.Phases = append(m.Phases, RunPhase(p))
 	}
+	if src.Resume != nil {
+		m.Resume = &RunResume{
+			Journal:       src.Resume.Journal,
+			ConfigHash:    src.Resume.ConfigHash,
+			SkippedCells:  src.Resume.SkippedCells,
+			RecordedCells: src.Resume.RecordedCells,
+			TotalCells:    src.Resume.TotalCells,
+		}
+	}
+	if src.Retries != nil {
+		m.Retries = &RunRetries{
+			MaxRetries:     src.Retries.MaxRetries,
+			Attempts:       src.Retries.Attempts,
+			RecoveredCells: src.Retries.RecoveredCells,
+			ExhaustedCells: src.Retries.ExhaustedCells,
+		}
+	}
 	if len(src.Counters) > 0 {
 		m.Counters = make(map[string]int64, len(src.Counters))
 		for k, v := range src.Counters {
@@ -154,6 +204,24 @@ type ReproduceOptions struct {
 	// still producing a figure. The default 0 is strict — any failure
 	// aborts the reproduction with an attributed error.
 	MaxFailedDrops int
+	// MaxRetries re-runs a failed (drop, scheme) cell up to this many
+	// extra times (with RetryBackoff between attempts) before the
+	// failure counts against MaxFailedDrops. Cells are deterministic in
+	// (seed, drop, scheme), so retries can only rescue transient
+	// faults — they never change figure numbers.
+	MaxRetries int
+	// RetryBackoff is the delay before a cell's first retry, doubling
+	// per attempt (capped). Zero retries immediately.
+	RetryBackoff time.Duration
+	// Checkpoint, when non-empty, is the path of a crash-safe run
+	// journal: every completed cell is fsynced there, and with Resume
+	// set a prior journal's cells are skipped — an interrupted
+	// reproduction continues where it stopped and still returns
+	// byte-identical Series. The journal refuses a config that hashes
+	// differently from the one it was started under.
+	Checkpoint string
+	// Resume loads the Checkpoint journal instead of starting it fresh.
+	Resume bool
 	// Instrument enables phase timers, event counters and solver
 	// aggregation for the run; the results appear on
 	// FigureResult.Manifest. Instrumentation is passive — the figure's
@@ -203,11 +271,35 @@ func ReproduceFigureContext(ctx context.Context, figure, drops int, seed int64, 
 		}
 		ctx = obs.Into(ctx, rec)
 	}
-	fig, err := experiment.GenerateContext(ctx, figure, experiment.Config{
+	cfg := experiment.Config{
 		Seed:           seed,
 		Drops:          drops,
 		MaxFailedDrops: opt.MaxFailedDrops,
-	})
+		MaxRetries:     opt.MaxRetries,
+		RetryBackoff:   opt.RetryBackoff,
+	}
+	if opt.Checkpoint != "" {
+		want, err := experiment.JournalHeader(figure, cfg)
+		if err != nil {
+			return FigureResult{}, fmt.Errorf("mmwalign: %w", err)
+		}
+		var jnl *journal.Journal
+		if opt.Resume {
+			if _, statErr := os.Stat(opt.Checkpoint); statErr == nil {
+				jnl, err = journal.Open(opt.Checkpoint, want)
+			} else {
+				jnl, err = journal.Create(opt.Checkpoint, want)
+			}
+		} else {
+			jnl, err = journal.Create(opt.Checkpoint, want)
+		}
+		if err != nil {
+			return FigureResult{}, fmt.Errorf("mmwalign: checkpoint: %w", err)
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+	}
+	fig, err := experiment.GenerateContext(ctx, figure, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
 			return FigureResult{}, err

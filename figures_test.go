@@ -3,6 +3,8 @@ package mmwalign
 import (
 	"bytes"
 	"context"
+	"math"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -109,5 +111,61 @@ func TestReproduceFigureInstrumented(t *testing.T) {
 	}
 	if plain.Manifest == nil || plain.Manifest.Instrumented {
 		t.Errorf("uninstrumented manifest = %+v", plain.Manifest)
+	}
+}
+
+func TestReproduceFigureCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction in -short mode")
+	}
+	clean, err := ReproduceFigure(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a checkpointed run after the first completed cell, then
+	// resume it: the public API must stitch the figure back together
+	// bit-for-bit and report how in the manifest.
+	path := filepath.Join(t.TempDir(), "fig5.journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = ReproduceFigureContext(ctx, 5, 2, 1, ReproduceOptions{
+		Checkpoint: path,
+		Instrument: true,
+		Progress:   func(done, total, failed int) { cancel() },
+	})
+	if err == nil {
+		t.Fatal("cancelled checkpointed run succeeded")
+	}
+
+	fig, err := ReproduceFigureContext(context.Background(), 5, 2, 1, ReproduceOptions{
+		Checkpoint: path,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	for i := range clean.Series {
+		for j := range clean.Series[i].Y {
+			if math.Float64bits(fig.Series[i].Y[j]) != math.Float64bits(clean.Series[i].Y[j]) ||
+				math.Float64bits(fig.Series[i].YErr[j]) != math.Float64bits(clean.Series[i].YErr[j]) {
+				t.Fatalf("resumed series %s point %d differs from uninterrupted run", clean.Series[i].Name, j)
+			}
+		}
+	}
+	if fig.Manifest == nil || fig.Manifest.Resume == nil {
+		t.Fatal("resumed run manifest lacks resume evidence")
+	}
+	r := fig.Manifest.Resume
+	if r.Journal != path || r.SkippedCells == 0 || r.SkippedCells+r.RecordedCells != r.TotalCells {
+		t.Errorf("resume evidence = %+v", r)
+	}
+
+	// A figure-affecting option change must refuse the journal.
+	if _, err := ReproduceFigureContext(context.Background(), 5, 3, 1, ReproduceOptions{
+		Checkpoint: path,
+		Resume:     true,
+	}); err == nil {
+		t.Error("resume across a changed drop count accepted")
 	}
 }

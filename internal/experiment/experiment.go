@@ -21,12 +21,14 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mmwalign/internal/align"
 	"mmwalign/internal/antenna"
 	"mmwalign/internal/channel"
 	"mmwalign/internal/covest"
+	"mmwalign/internal/journal"
 	"mmwalign/internal/meas"
 	"mmwalign/internal/metrics"
 	"mmwalign/internal/obs"
@@ -90,8 +92,29 @@ type Config struct {
 	// aggregation of every scheme — keeping the per-scheme means
 	// comparable — and recorded in the figure's FailureReport. The
 	// default 0 is strict: any failure aborts the figure with every
-	// collected failure joined into the returned error.
+	// collected failure joined into the returned error. A cell that
+	// succeeds within MaxRetries never reaches this budget.
 	MaxFailedDrops int `json:"max_failed_drops"`
+	// MaxRetries re-runs a failed (drop, scheme) cell up to this many
+	// extra times before the failure counts against MaxFailedDrops.
+	// Cell computations are pure functions of (seed, drop, scheme), so
+	// a retry that succeeds produces exactly the result the first
+	// attempt would have — retries only help against transient faults
+	// (an injected hiccup, a resource blip), and a deterministic bug
+	// burns all attempts and reports how many (DropFailure.Attempts).
+	MaxRetries int `json:"max_retries"`
+	// RetryBackoff is the delay before the first retry, doubling per
+	// subsequent attempt and capped at 100× the base (or at 5s when no
+	// base is set but retries are). Zero means retry immediately.
+	RetryBackoff time.Duration `json:"retry_backoff_ns"`
+	// Journal, when non-nil, is the crash-safe checkpoint of the run:
+	// cells already on record are skipped (their journaled trajectories
+	// are bit-exact, so the figure is byte-identical to an
+	// uninterrupted run) and every newly completed cell is appended and
+	// fsynced as it finishes. Failed cells are never journaled — a
+	// resume retries them. The caller owns opening (with the canonical
+	// config-hash check) and closing the journal.
+	Journal *journal.Journal `json:"-"`
 	// WrapSounder, when non-nil, wraps each (drop, scheme) cell's
 	// sounder before the strategies run — the seam used by the
 	// fault-injection harness and instrumentation. The wrapper must be
@@ -187,8 +210,13 @@ type DropFailure struct {
 	Drop int
 	// Scheme is the strategy that failed on it.
 	Scheme string
-	// Err is the attributed failure (a *PanicError for recovered
-	// panics).
+	// Attempts is how many times the cell was run before giving up
+	// (1 + retries burned): it distinguishes a permanent failure that
+	// exhausted Config.MaxRetries from a first-attempt failure with no
+	// retry budget.
+	Attempts int
+	// Err is the attributed failure of the final attempt (a
+	// *PanicError for recovered panics).
 	Err error
 }
 
@@ -206,14 +234,20 @@ type FailureReport struct {
 }
 
 // Err joins every recorded failure into one inspectable error (nil when
-// the report is empty).
+// the report is empty). Cells that burned retries say so — an
+// over-budget error distinguishes "failed once, no retries configured"
+// from "failed persistently through N retries".
 func (r *FailureReport) Err() error {
 	if r == nil || len(r.Failures) == 0 {
 		return nil
 	}
 	errs := make([]error, len(r.Failures))
 	for i, f := range r.Failures {
-		errs[i] = f.Err
+		if f.Attempts > 1 {
+			errs[i] = fmt.Errorf("%w (persistent: %d retries burned over %d attempts)", f.Err, f.Attempts-1, f.Attempts)
+		} else {
+			errs[i] = f.Err
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -339,6 +373,11 @@ func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, erro
 type cell struct {
 	tr  align.Trajectory
 	err error
+	// attempts is how many times the cell ran (0 for a resume-skip:
+	// the work happened in a previous process).
+	attempts int
+	// resumed marks a cell satisfied from the journal.
+	resumed bool
 }
 
 // runCell executes one (drop, scheme) computation and attributes any
@@ -369,6 +408,95 @@ func runCell(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme
 	return cell{tr: tr}
 }
 
+// runCellAttempt is one recovered attempt of a cell: a panic anywhere
+// in the computation becomes an attributed *PanicError instead of
+// crossing the retry loop, so a panicking first attempt is as
+// retryable as an erroring one.
+func runCellAttempt(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme string, budget int) (c cell) {
+	defer func() {
+		if r := recover(); r != nil {
+			c = cell{err: &PanicError{Drop: drop, Scheme: scheme, Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	return runCell(ctx, cfg, root, drop, scheme, budget)
+}
+
+// retryDelay returns the capped exponential backoff before retry
+// number attempt (0-based): base, 2·base, 4·base, … capped at 100×
+// base, or at 5s when retries are configured with no base.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	cap := 100 * base
+	if cap > 5*time.Second && base <= 5*time.Second {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// runCellWithRetry runs a cell through the retry engine: up to
+// cfg.MaxRetries re-runs after a failed attempt, with capped
+// exponential backoff between attempts. Cancellation is never retried
+// (the run is shutting down), and a success after retries is
+// indistinguishable from a first-attempt success in the results —
+// cells are deterministic in (seed, drop, scheme) — so retries cannot
+// perturb figure bytes, only rescue transiently failed cells from the
+// MaxFailedDrops budget.
+func runCellWithRetry(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme string, budget int, st *runStats) cell {
+	rec := obs.From(ctx)
+	var c cell
+	for attempt := 0; ; attempt++ {
+		c = runCellAttempt(ctx, cfg, root, drop, scheme, budget)
+		c.attempts = attempt + 1
+		if c.err == nil {
+			if attempt > 0 {
+				st.retryRecovered.Add(1)
+				rec.Counter("retry_recovered_cells").Add(1)
+			}
+			return c
+		}
+		if ctx.Err() != nil || attempt >= cfg.MaxRetries {
+			if attempt > 0 && ctx.Err() == nil {
+				st.retryExhausted.Add(1)
+				rec.Counter("retry_exhausted_cells").Add(1)
+			}
+			return c
+		}
+		st.retryAttempts.Add(1)
+		rec.Counter("retry_attempts").Add(1)
+		if delay := retryDelay(cfg.RetryBackoff, attempt); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return cell{err: ctx.Err(), attempts: attempt + 1}
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// runStats tallies the robustness machinery of one run — resume skips
+// and retry outcomes — for the manifest's Resume/Retries evidence.
+// Atomic because drop workers update it concurrently.
+type runStats struct {
+	resumedCells   atomic.Int64
+	retryAttempts  atomic.Int64
+	retryRecovered atomic.Int64
+	retryExhausted atomic.Int64
+}
+
 // trajectories runs every configured scheme on every drop with the given
 // measurement budget and feeds each per-drop trajectory to visit, in
 // deterministic (drop-major, scheme order) sequence.
@@ -382,15 +510,20 @@ func runCell(ctx context.Context, cfg Config, root *rng.Source, drop int, scheme
 //
 // Failure isolation: a panic in any cell is recovered into an
 // attributed *PanicError, and every cell error is collected — never
-// just the first. Under the error budget (Config.MaxFailedDrops) failed
-// drops are skipped for all schemes (keeping the per-scheme aggregates
-// comparable) and reported; over budget, the joined errors are
-// returned. Cancelling ctx stops spawning, drains the running workers,
-// and returns the context's error.
-func trajectories(ctx context.Context, cfg Config, budget int, visit func(scheme string, drop int, tr align.Trajectory)) (*FailureReport, error) {
+// just the first. A failed cell is re-run up to Config.MaxRetries
+// times (with capped exponential backoff) before it counts. Under the
+// error budget (Config.MaxFailedDrops) failed drops are skipped for
+// all schemes (keeping the per-scheme aggregates comparable) and
+// reported; over budget, the joined errors are returned. Cancelling
+// ctx stops spawning, drains the running workers, and returns the
+// context's error — with every finished cell already fsynced to
+// Config.Journal when one is attached, which is what makes the
+// interruption resumable.
+func trajectories(ctx context.Context, cfg Config, budget int, visit func(scheme string, drop int, tr align.Trajectory)) (*FailureReport, *runStats, error) {
 	root := rng.New(cfg.Seed)
 	rec := obs.From(ctx)
 	rec.StartRun(cfg.Drops * len(cfg.Schemes))
+	st := &runStats{}
 
 	results := make([][]cell, cfg.Drops)
 	for d := range results {
@@ -403,10 +536,33 @@ func trajectories(ctx context.Context, cfg Config, budget int, visit func(scheme
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+	// The first journal-write error aborts checkpointing credibility
+	// for the whole run, so it is surfaced as a run error after the
+	// workers drain rather than silently degrading durability.
+	var journalErr atomic.Pointer[error]
 spawn:
 	for drop := 0; drop < cfg.Drops; drop++ {
 		for si, scheme := range cfg.Schemes {
 			drop, si, scheme := drop, si, scheme
+			if cfg.Journal != nil {
+				if payload, ok := cfg.Journal.Lookup(drop, scheme); ok {
+					// Resume skip: the journaled trajectory is bit-exact,
+					// so consuming it is indistinguishable from re-running
+					// the cell. A payload that fails to decode is treated
+					// as not-completed and recomputed — the journal's CRC
+					// already vouched for the bytes, so this only fires
+					// across an engine codec change.
+					tr, err := decodeTrajectory(payload)
+					if err == nil {
+						results[drop][si] = cell{tr: tr, resumed: true}
+						st.resumedCells.Add(1)
+						rec.Counter("resume_skipped_cells").Add(1)
+						rec.CellDone(false)
+						continue
+					}
+					rec.Counter("resume_decode_failures").Add(1)
+				}
+			}
 			select {
 			case sem <- struct{}{}:
 			case <-ctx.Done():
@@ -425,13 +581,31 @@ spawn:
 					// eventual FailureReport.
 					rec.CellDone(results[drop][si].err != nil)
 				}()
-				results[drop][si] = runCell(ctx, cfg, root, drop, scheme, budget)
+				c := runCellWithRetry(ctx, cfg, root, drop, scheme, budget, st)
+				results[drop][si] = c
+				if c.err == nil && cfg.Journal != nil {
+					// Record-then-fsync before the slot is observable as
+					// done: once CellDone fires, a crash cannot lose the
+					// cell.
+					payload, err := encodeTrajectory(c.tr)
+					if err == nil {
+						err = cfg.Journal.Record(drop, scheme, payload)
+					}
+					if err != nil {
+						journalErr.CompareAndSwap(nil, &err)
+					} else {
+						rec.Counter("journal_cells_recorded").Add(1)
+					}
+				}
 			}()
 		}
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, st, err
+	}
+	if errp := journalErr.Load(); errp != nil {
+		return nil, st, fmt.Errorf("experiment: checkpoint journal write failed (results would not be resumable): %w", *errp)
 	}
 
 	// Collect every failure with attribution; a drop is excluded for all
@@ -441,9 +615,9 @@ spawn:
 	var failures []DropFailure
 	for drop := 0; drop < cfg.Drops; drop++ {
 		for si, scheme := range cfg.Schemes {
-			if err := results[drop][si].err; err != nil {
+			if c := results[drop][si]; c.err != nil {
 				failedDrop[drop] = true
-				failures = append(failures, DropFailure{Drop: drop, Scheme: scheme, Err: err})
+				failures = append(failures, DropFailure{Drop: drop, Scheme: scheme, Attempts: c.attempts, Err: c.err})
 			}
 		}
 	}
@@ -456,11 +630,11 @@ spawn:
 			}
 		}
 		if report.FailedDrops > cfg.MaxFailedDrops {
-			return report, fmt.Errorf("experiment: %d of %d drops failed (error budget %d): %w",
-				report.FailedDrops, cfg.Drops, cfg.MaxFailedDrops, report.Err())
+			return report, st, fmt.Errorf("experiment: %d of %d drops failed (error budget %d, %d retries per cell): %w",
+				report.FailedDrops, cfg.Drops, cfg.MaxFailedDrops, cfg.MaxRetries, report.Err())
 		}
 		if report.FailedDrops == cfg.Drops {
-			return report, fmt.Errorf("experiment: all %d drops failed: %w", cfg.Drops, report.Err())
+			return report, st, fmt.Errorf("experiment: all %d drops failed: %w", cfg.Drops, report.Err())
 		}
 	}
 
@@ -472,7 +646,7 @@ spawn:
 			visit(scheme, drop, results[drop][si].tr)
 		}
 	}
-	return report, nil
+	return report, st, nil
 }
 
 // totalPairs returns T for the configured codebooks.
@@ -502,7 +676,7 @@ func SearchEffectivenessContext(ctx context.Context, cfg Config) (Figure, error)
 	for _, s := range cfg.Schemes {
 		accs[s] = make([]metrics.Accumulator, len(cfg.SearchRates))
 	}
-	report, err := trajectories(ctx, cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
+	report, stats, err := trajectories(ctx, cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
 		for i, rate := range cfg.SearchRates {
 			l := int(math.Ceil(rate * float64(t)))
 			if l < 1 {
@@ -538,7 +712,7 @@ func SearchEffectivenessContext(ctx context.Context, cfg Config) (Figure, error)
 		}
 		fig.Series = append(fig.Series, s)
 	}
-	fig.Manifest = buildManifest(cfg, &fig, obs.From(ctx), time.Since(start))
+	fig.Manifest = buildManifest(cfg, &fig, obs.From(ctx), time.Since(start), stats)
 	return fig, nil
 }
 
@@ -566,7 +740,7 @@ func CostEfficiencyContext(ctx context.Context, cfg Config) (Figure, error) {
 	for _, s := range cfg.Schemes {
 		accs[s] = make([]metrics.Accumulator, len(cfg.TargetsDB))
 	}
-	report, err := trajectories(ctx, cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
+	report, stats, err := trajectories(ctx, cfg, budget, func(scheme string, _ int, tr align.Trajectory) {
 		for i, target := range cfg.TargetsDB {
 			l := tr.FirstWithin(target)
 			if l < 0 {
@@ -599,7 +773,7 @@ func CostEfficiencyContext(ctx context.Context, cfg Config) (Figure, error) {
 		}
 		fig.Series = append(fig.Series, s)
 	}
-	fig.Manifest = buildManifest(cfg, &fig, obs.From(ctx), time.Since(start))
+	fig.Manifest = buildManifest(cfg, &fig, obs.From(ctx), time.Since(start), stats)
 	return fig, nil
 }
 

@@ -145,7 +145,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		cfg := tinyConfig(false)
 		cfg.Workers = workers
 		var trs []align.Trajectory
-		_, err := trajectories(context.Background(), cfg, 32, func(scheme string, drop int, tr align.Trajectory) {
+		_, _, err := trajectories(context.Background(), cfg, 32, func(scheme string, drop int, tr align.Trajectory) {
 			trs = append(trs, tr)
 		})
 		if err != nil {

@@ -32,9 +32,10 @@ func (p *obsProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measureme
 
 // buildManifest assembles the run manifest for a completed figure:
 // the fully defaulted config and seed always; phase timings, counters
-// and solver aggregates when a recorder observed the run. The CLI
+// and solver aggregates when a recorder observed the run; resume and
+// retry evidence when the robustness layers were engaged. The CLI
 // layer stamps Version/CreatedAt before persisting.
-func buildManifest(cfg Config, fig *Figure, rec *obs.Recorder, elapsed time.Duration) *obs.Manifest {
+func buildManifest(cfg Config, fig *Figure, rec *obs.Recorder, elapsed time.Duration, stats *runStats) *obs.Manifest {
 	m := &obs.Manifest{
 		Schema:    obs.ManifestSchema,
 		Figure:    fig.ID,
@@ -53,6 +54,28 @@ func buildManifest(cfg Config, fig *Figure, rec *obs.Recorder, elapsed time.Dura
 		m.Counters = snap.Counters
 		m.Solver = snap.Solver
 	}
+	if cfg.Journal != nil {
+		h := cfg.Journal.Header()
+		m.Resume = &obs.ResumeSummary{
+			Journal:      cfg.Journal.Path(),
+			ConfigHash:   h.ConfigHash,
+			TotalCells:   cfg.Drops * len(cfg.Schemes),
+			SkippedCells: int(stats.resumedCells.Load()),
+		}
+		// Distinct cells on record minus the skips is what this run
+		// contributed (last-write-wins dedup makes Len distinct).
+		if n := cfg.Journal.Len() - m.Resume.SkippedCells; n > 0 {
+			m.Resume.RecordedCells = n
+		}
+	}
+	if cfg.MaxRetries > 0 {
+		m.Retries = &obs.RetrySummary{
+			MaxRetries:     cfg.MaxRetries,
+			Attempts:       stats.retryAttempts.Load(),
+			RecoveredCells: stats.retryRecovered.Load(),
+			ExhaustedCells: stats.retryExhausted.Load(),
+		}
+	}
 	if fig.Failures != nil {
 		fs := &obs.FailureSummary{
 			FailedDrops: fig.Failures.FailedDrops,
@@ -63,7 +86,7 @@ func buildManifest(cfg Config, fig *Figure, rec *obs.Recorder, elapsed time.Dura
 			if f.Err != nil {
 				errText = f.Err.Error()
 			}
-			fs.Cells = append(fs.Cells, obs.FailureCell{Drop: f.Drop, Scheme: f.Scheme, Error: errText})
+			fs.Cells = append(fs.Cells, obs.FailureCell{Drop: f.Drop, Scheme: f.Scheme, Attempts: f.Attempts, Error: errText})
 		}
 		m.Failures = fs
 	}

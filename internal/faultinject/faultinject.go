@@ -13,7 +13,9 @@
 package faultinject
 
 import (
+	"fmt"
 	"math"
+	"sync"
 
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/covest"
@@ -153,6 +155,62 @@ func (s *Sounder) SetSnapshots(k int) { s.inner.SetSnapshots(k) }
 
 // Count implements meas.Prober.
 func (s *Sounder) Count() int { return s.inner.Count() }
+
+// TransientMode selects how WrapTransient fails an attempt.
+type TransientMode int
+
+// Transient failure modes.
+const (
+	// TransientPanic panics on the cell's first measurement — the
+	// guaranteed-to-fail mode the retry-engine tests lean on.
+	TransientPanic TransientMode = iota
+	// TransientNaN poisons every measurement energy of the attempt with
+	// NaN — exercises the degradation paths instead of the panic path.
+	TransientNaN
+)
+
+// WrapTransient returns a Config.WrapSounder hook that makes the first
+// failAttempts attempts of every (drop, scheme) cell fail in the given
+// mode; later attempts pass through untouched. The experiment engine
+// re-invokes the hook on each retry, which is what lets the wrapper
+// count attempts — making it the canonical transient fault: a cell
+// that fails deterministically on attempt 1..n and succeeds (with the
+// exact result an unfaulted first attempt would have produced) from
+// attempt n+1 on. Attempt counting is keyed by (drop, scheme) under a
+// lock, so it is deterministic regardless of worker count.
+func WrapTransient(failAttempts int, mode TransientMode) func(drop int, scheme string, p meas.Prober) meas.Prober {
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	return func(drop int, scheme string, p meas.Prober) meas.Prober {
+		key := fmt.Sprintf("%s/%d", scheme, drop)
+		mu.Lock()
+		attempts[key]++
+		n := attempts[key]
+		mu.Unlock()
+		if n > failAttempts {
+			return p
+		}
+		return &transientProber{Prober: p, mode: mode}
+	}
+}
+
+// transientProber applies one attempt's worth of injected failure.
+type transientProber struct {
+	meas.Prober
+	mode TransientMode
+}
+
+// Measure implements meas.Prober with the configured transient fault.
+func (t *transientProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	switch t.mode {
+	case TransientPanic:
+		panic("faultinject: transient measurement fault (fails this attempt only)")
+	default: // TransientNaN
+		m := t.Prober.Measure(txBeam, rxBeam, u, v)
+		m.Energy = math.NaN()
+		return m
+	}
+}
 
 // DivergentOptions returns estimator options engineered to stress the
 // solver guardrails: an absurd initial step with FISTA's non-monotone

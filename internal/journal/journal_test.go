@@ -1,0 +1,336 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		Figure:     "fig5",
+		ConfigHash: "deadbeef",
+		Version:    "test-engine",
+		Seed:       42,
+		Drops:      3,
+		Schemes:    []string{"random", "proposed"},
+	}
+}
+
+func mustCreate(t *testing.T, path string, h Header) *Journal {
+	t.Helper()
+	j, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	payloads := map[CellKey]string{
+		{0, "random"}:   `{"x":1}`,
+		{0, "proposed"}: `{"x":2}`,
+		{2, "random"}:   `{"x":3}`,
+	}
+	for k, p := range payloads {
+		if err := j.Record(k.Drop, k.Scheme, json.RawMessage(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(payloads) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(payloads))
+	}
+	if got := r.Header(); got.Figure != "fig5" || got.ConfigHash != "deadbeef" || got.Seed != 42 {
+		t.Fatalf("header round-trip mangled: %+v", got)
+	}
+	for k, want := range payloads {
+		got, ok := r.Lookup(k.Drop, k.Scheme)
+		if !ok || string(got) != want {
+			t.Errorf("Lookup(%d,%s) = %q,%v; want %q", k.Drop, k.Scheme, got, ok, want)
+		}
+	}
+	if _, ok := r.Lookup(1, "random"); ok {
+		t.Error("Lookup of unrecorded cell reported completion")
+	}
+}
+
+func TestDuplicateCellLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	for i := 0; i < 3; i++ {
+		if err := j.Record(1, "random", json.RawMessage(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	r, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate records, want 1", r.Len())
+	}
+	got, _ := r.Lookup(1, "random")
+	if string(got) != `{"v":2}` {
+		t.Errorf("duplicate resolution = %s, want last write {\"v\":2}", got)
+	}
+}
+
+func TestTornTailTruncateAndContinue(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	if err := j.Record(0, "random", json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, tail := range map[string]string{
+		"half-record":      `0badc0de {"kind":"cell","cell":{"drop":1,"sch`,
+		"garbage":          "\x00\x01\x02partial",
+		"crc-only":         "deadbeef",
+		"valid-no-newline": "", // filled below: a full record missing its \n
+	} {
+		t.Run(name, func(t *testing.T) {
+			data := append(append([]byte(nil), intact...), tail...)
+			if name == "valid-no-newline" {
+				line, err := encodeLine(record{Kind: "cell", Cell: &cellRecord{Drop: 1, Scheme: "random", Payload: json.RawMessage(`{}`)}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = append(append([]byte(nil), intact...), line[:len(line)-1]...)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(path, testHeader())
+			if err != nil {
+				t.Fatalf("torn tail not tolerated: %v", err)
+			}
+			if r.Len() != 1 {
+				t.Fatalf("Len = %d after torn tail, want the 1 intact cell", r.Len())
+			}
+			// The journal must be immediately appendable: the torn line was
+			// truncated away, so a new record lands on a clean boundary.
+			if err := r.Record(2, "proposed", json.RawMessage(`{"resumed":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			r.Close()
+			r2, err := Open(path, testHeader())
+			if err != nil {
+				t.Fatalf("reopen after truncate-and-append: %v", err)
+			}
+			defer r2.Close()
+			if r2.Len() != 2 {
+				t.Fatalf("Len = %d after append over torn tail, want 2", r2.Len())
+			}
+		})
+	}
+}
+
+func TestInteriorChecksumMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	j.Record(0, "random", json.RawMessage(`{"a":1}`))
+	j.Record(1, "random", json.RawMessage(`{"b":2}`))
+	j.Close()
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a payload byte of the middle record (line 2) without touching
+	// its CRC prefix.
+	corrupted := []byte(lines[1])
+	corrupted[len(corrupted)-3] ^= 0x01
+	lines[1] = string(corrupted)
+	os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+
+	_, err := Open(path, testHeader())
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("interior corruption returned %v, want *ChecksumError", err)
+	}
+	if ce.Line != 2 {
+		t.Errorf("ChecksumError.Line = %d, want 2", ce.Line)
+	}
+}
+
+func TestConfigHashMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	mustCreate(t, path, testHeader()).Close()
+
+	want := testHeader()
+	want.ConfigHash = "0ther"
+	_, err := Open(path, want)
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("config drift returned %v, want *MismatchError", err)
+	}
+	if me.Field != "config_hash" {
+		t.Errorf("mismatch field = %q, want config_hash", me.Field)
+	}
+
+	want = testHeader()
+	want.Figure = "fig7"
+	if _, err := Open(path, want); !errors.As(err, &me) || me.Field != "figure" {
+		t.Errorf("figure drift returned %v, want *MismatchError on figure", err)
+	}
+}
+
+func TestInteriorGarbageRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	j.Record(0, "random", json.RawMessage(`{}`))
+	j.Close()
+	data, _ := os.ReadFile(path)
+	// Insert a garbage line between header and the cell record.
+	lines := strings.SplitAfter(string(data), "\n")
+	mangled := lines[0] + "not a record at all\n" + strings.Join(lines[1:], "")
+	os.WriteFile(path, []byte(mangled), 0o644)
+
+	_, err := Open(path, testHeader())
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("interior garbage returned %v, want *CorruptError", err)
+	}
+}
+
+func TestMissingOrForeignHeaderRejected(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.journal")
+	os.WriteFile(empty, nil, 0o644)
+	var ce *CorruptError
+	if _, err := Open(empty, testHeader()); !errors.As(err, &ce) {
+		t.Errorf("empty journal returned %v, want *CorruptError", err)
+	}
+
+	// A header from a future/foreign schema must be refused, not misread.
+	foreign := filepath.Join(dir, "foreign.journal")
+	h := testHeader()
+	j := mustCreate(t, foreign, h)
+	j.Close()
+	data, _ := os.ReadFile(foreign)
+	swapped := strings.Replace(string(data), Schema, "mmwalign/journal/v999", 1)
+	// CRC covers the payload, so recompute the line properly instead of
+	// hand-editing: rewrite through encodeLine.
+	hh := h
+	hh.Schema = "mmwalign/journal/v999"
+	line, err := encodeLine(record{Kind: "header", Header: &hh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = swapped
+	os.WriteFile(foreign, line, 0o644)
+	var me *MismatchError
+	if _, err := Open(foreign, testHeader()); !errors.As(err, &me) || me.Field != "schema" {
+		t.Errorf("foreign schema returned %v, want *MismatchError on schema", err)
+	}
+}
+
+func TestConcurrentRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	var wg sync.WaitGroup
+	for d := 0; d < 16; d++ {
+		for _, s := range []string{"random", "proposed"} {
+			d, s := d, s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := j.Record(d, s, json.RawMessage(fmt.Sprintf(`{"d":%d,"s":%q}`, d, s))); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	j.Close()
+	r, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatalf("concurrent records interleaved into corruption: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", r.Len())
+	}
+}
+
+func TestInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	j.Record(1, "proposed", json.RawMessage(`{}`))
+	j.Record(0, "random", json.RawMessage(`{}`))
+	j.Close()
+
+	h, cells, torn, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("intact journal reported a torn tail")
+	}
+	if h.Figure != "fig5" || h.Drops != 3 {
+		t.Errorf("inspect header = %+v", h)
+	}
+	// Keys come back sorted drop-major.
+	want := []CellKey{{0, "random"}, {1, "proposed"}}
+	if len(cells) != 2 || cells[0] != want[0] || cells[1] != want[1] {
+		t.Errorf("inspect cells = %v, want %v", cells, want)
+	}
+
+	// A torn tail is reported but does not fail inspection, and the file
+	// is left unmodified (Inspect is read-only).
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("deadbeef {\"kind\":\"cell\"")
+	f.Close()
+	before, _ := os.ReadFile(path)
+	_, _, torn, err = Inspect(path)
+	if err != nil || !torn {
+		t.Errorf("Inspect(torn) = torn=%v err=%v, want torn=true err=nil", torn, err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("Inspect modified the journal file")
+	}
+}
+
+func TestRecordValidatesCoordinates(t *testing.T) {
+	j := mustCreate(t, filepath.Join(t.TempDir(), "run.journal"), testHeader())
+	defer j.Close()
+	if err := j.Record(-1, "random", nil); err == nil {
+		t.Error("negative drop accepted")
+	}
+	if err := j.Record(0, "", nil); err == nil {
+		t.Error("empty scheme accepted")
+	}
+}
+
+func TestRecordOnClosedJournalFails(t *testing.T) {
+	j := mustCreate(t, filepath.Join(t.TempDir(), "run.journal"), testHeader())
+	j.Close()
+	if err := j.Record(0, "random", json.RawMessage(`{}`)); err == nil {
+		t.Error("record on closed journal succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

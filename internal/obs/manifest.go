@@ -46,9 +46,50 @@ type Manifest struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	// Solver aggregates covest.Stats across every estimation of the run.
 	Solver SolverStats `json:"solver"`
+	// Resume records checkpoint/resume evidence: how much of the run
+	// was satisfied from a journal instead of recomputed. Nil when the
+	// run carried no journal.
+	Resume *ResumeSummary `json:"resume,omitempty"`
+	// Retries records the per-cell retry engine's work. Nil when
+	// retries were not configured.
+	Retries *RetrySummary `json:"retries,omitempty"`
 	// Failures summarizes drops excluded under the error budget; nil
 	// when every drop succeeded.
 	Failures *FailureSummary `json:"failures,omitempty"`
+}
+
+// ResumeSummary is the manifest evidence of a checkpointed run: with
+// it, an auditor can tell a fresh figure from one stitched across
+// interruptions (the bytes are identical either way — that is the
+// journal's contract).
+type ResumeSummary struct {
+	// Journal is the checkpoint file path.
+	Journal string `json:"journal,omitempty"`
+	// ConfigHash is the canonical config hash the journal was matched
+	// against before any cell was skipped.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// SkippedCells is how many (drop, scheme) cells were satisfied from
+	// the journal; RecordedCells how many this run appended.
+	SkippedCells  int `json:"skipped_cells"`
+	RecordedCells int `json:"recorded_cells"`
+	// TotalCells is drops × schemes for the run.
+	TotalCells int `json:"total_cells"`
+}
+
+// RetrySummary is the manifest evidence of the per-cell retry engine.
+type RetrySummary struct {
+	// MaxRetries is the configured per-cell retry budget.
+	MaxRetries int `json:"max_retries"`
+	// Attempts is the number of re-runs performed (beyond each cell's
+	// first attempt).
+	Attempts int64 `json:"attempts"`
+	// RecoveredCells counts cells that failed at least once and then
+	// succeeded — transient failures the retry engine absorbed before
+	// they could consume the MaxFailedDrops budget.
+	RecoveredCells int64 `json:"recovered_cells"`
+	// ExhaustedCells counts cells that burned every retry and still
+	// failed — permanent failures.
+	ExhaustedCells int64 `json:"exhausted_cells"`
 }
 
 // FailureSummary is the manifest form of experiment.FailureReport.
@@ -65,7 +106,11 @@ type FailureSummary struct {
 type FailureCell struct {
 	Drop   int    `json:"drop"`
 	Scheme string `json:"scheme"`
-	Error  string `json:"error"`
+	// Attempts is how many times the cell ran before the failure stuck
+	// (1 + retries burned; 0 in manifests from engines without the
+	// retry layer).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error"`
 }
 
 // Validate checks the manifest's structural invariants — the contract
@@ -118,6 +163,26 @@ func (m *Manifest) Validate() error {
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("obs: solver aggregate %s is negative (%d)", c.name, c.v)
+		}
+	}
+	if r := m.Resume; r != nil {
+		if r.SkippedCells < 0 || r.RecordedCells < 0 || r.TotalCells <= 0 {
+			return fmt.Errorf("obs: resume summary has negative or empty counts (%+v)", r)
+		}
+		if r.SkippedCells > r.TotalCells {
+			return fmt.Errorf("obs: resume summary skipped %d of %d cells", r.SkippedCells, r.TotalCells)
+		}
+		if r.RecordedCells > r.TotalCells {
+			return fmt.Errorf("obs: resume summary recorded %d of %d cells", r.RecordedCells, r.TotalCells)
+		}
+	}
+	if rt := m.Retries; rt != nil {
+		if rt.MaxRetries < 0 || rt.Attempts < 0 || rt.RecoveredCells < 0 || rt.ExhaustedCells < 0 {
+			return fmt.Errorf("obs: retry summary has negative counts (%+v)", rt)
+		}
+		if rt.RecoveredCells+rt.ExhaustedCells > rt.Attempts {
+			return fmt.Errorf("obs: retry summary outcomes (%d recovered + %d exhausted) exceed %d attempts",
+				rt.RecoveredCells, rt.ExhaustedCells, rt.Attempts)
 		}
 	}
 	if f := m.Failures; f != nil {

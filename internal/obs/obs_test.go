@@ -154,7 +154,10 @@ func validManifest() *Manifest {
 func TestManifestValidateAndRoundTrip(t *testing.T) {
 	m := validManifest()
 	m.Failures = &FailureSummary{FailedDrops: 1, TotalDrops: 3,
-		Cells: []FailureCell{{Drop: 2, Scheme: "proposed", Error: "boom"}}}
+		Cells: []FailureCell{{Drop: 2, Scheme: "proposed", Error: "boom", Attempts: 3}}}
+	m.Resume = &ResumeSummary{Journal: "fig5.journal", ConfigHash: "abc123",
+		SkippedCells: 2, RecordedCells: 4, TotalCells: 6}
+	m.Retries = &RetrySummary{MaxRetries: 2, Attempts: 5, RecoveredCells: 3, ExhaustedCells: 1}
 	var buf bytes.Buffer
 	if err := m.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
@@ -166,6 +169,15 @@ func TestManifestValidateAndRoundTrip(t *testing.T) {
 	if back.Figure != "fig5" || back.Counters["measurements"] != 4 ||
 		back.Solver.Iters != 10 || back.Failures.FailedDrops != 1 {
 		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Resume == nil || back.Resume.SkippedCells != 2 || back.Resume.Journal != "fig5.journal" {
+		t.Errorf("resume evidence lost in round trip: %+v", back.Resume)
+	}
+	if back.Retries == nil || back.Retries.RecoveredCells != 3 || back.Retries.MaxRetries != 2 {
+		t.Errorf("retry evidence lost in round trip: %+v", back.Retries)
+	}
+	if back.Failures.Cells[0].Attempts != 3 {
+		t.Errorf("failure cell attempts lost in round trip: %+v", back.Failures.Cells[0])
 	}
 }
 
@@ -186,6 +198,24 @@ func TestManifestValidateRejectsBadDocuments(t *testing.T) {
 		"failure cell without error": func(m *Manifest) {
 			m.Failures = &FailureSummary{FailedDrops: 1, TotalDrops: 3,
 				Cells: []FailureCell{{Drop: 0, Scheme: "scan"}}}
+		},
+		"resume with zero total": func(m *Manifest) {
+			m.Resume = &ResumeSummary{SkippedCells: 1}
+		},
+		"resume skipped exceeds total": func(m *Manifest) {
+			m.Resume = &ResumeSummary{SkippedCells: 7, TotalCells: 6}
+		},
+		"resume recorded exceeds total": func(m *Manifest) {
+			m.Resume = &ResumeSummary{RecordedCells: 7, TotalCells: 6}
+		},
+		"negative resume counts": func(m *Manifest) {
+			m.Resume = &ResumeSummary{SkippedCells: -1, TotalCells: 6}
+		},
+		"negative retry counts": func(m *Manifest) {
+			m.Retries = &RetrySummary{Attempts: -1}
+		},
+		"retry outcomes exceed attempts": func(m *Manifest) {
+			m.Retries = &RetrySummary{Attempts: 2, RecoveredCells: 2, ExhaustedCells: 1}
 		},
 	}
 	for name, mutate := range cases {
