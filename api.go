@@ -4,13 +4,15 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"net/http"
+	"time"
 
 	"mmwalign/internal/align"
 	"mmwalign/internal/antenna"
 	"mmwalign/internal/channel"
-	"mmwalign/internal/covest"
 	"mmwalign/internal/meas"
 	"mmwalign/internal/rng"
+	"mmwalign/internal/serve"
 )
 
 // Scheme names a beam-alignment strategy.
@@ -257,59 +259,47 @@ func (l *Link) OptimalSNRdB() float64 {
 	return channel.LinearToDB(snr)
 }
 
+// ServerConfig tunes the embedded alignment server. The zero value is
+// usable: defaults match cmd/beamserve's.
+type ServerConfig struct {
+	// MaxConcurrent bounds requests executing simultaneously (default 4).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting beyond MaxConcurrent (default
+	// 8); arrivals past the sum are rejected with 503 + Retry-After.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry its own timeout_ms (default 10s).
+	DefaultTimeout time.Duration
+	// RetryAfterSeconds is the Retry-After hint on 503s (default 1).
+	RetryAfterSeconds int
+}
+
+// NewAlignHandler returns an http.Handler serving the beam-alignment
+// API (POST /v1/estimate, POST /v1/align, GET /healthz, GET /statsz —
+// see cmd/beamserve) together with a drain function: calling it stops
+// admission and blocks until in-flight requests complete or its context
+// expires. The handler keeps pooled estimator workspaces warm across
+// requests; embed it when the alignment service should live inside an
+// existing process instead of the standalone binary.
+func NewAlignHandler(cfg ServerConfig) (http.Handler, func(context.Context) error) {
+	srv := serve.NewServer(serve.Config{
+		MaxConcurrent:     cfg.MaxConcurrent,
+		QueueDepth:        cfg.QueueDepth,
+		DefaultTimeout:    cfg.DefaultTimeout,
+		RetryAfterSeconds: cfg.RetryAfterSeconds,
+	})
+	return srv, srv.Drain
+}
+
 func (l *Link) strategy(scheme Scheme, opt AlignOptions) (align.Strategy, error) {
-	switch scheme {
-	case SchemeRandom:
-		return align.RandomStrategy{}, nil
-	case SchemeScan:
-		return align.ScanStrategy{}, nil
-	case SchemeExhaustive:
-		return align.ExhaustiveStrategy{}, nil
-	case SchemeProposed:
-		if opt.J == 0 {
-			opt.J = 8
-		}
-		if opt.Mu == 0 {
-			opt.Mu = 1
-		}
-		if opt.Window == 0 {
-			opt.Window = 96
-		}
-		return align.NewProposed(align.ProposedConfig{
-			J:      opt.J,
-			Window: opt.Window,
-			Estimator: covest.Options{
-				Gamma:    channel.DBToLinear(l.spec.SNRdB),
-				Mu:       opt.Mu,
-				MaxIters: 25,
-			},
-		}), nil
-	case SchemeTwoSided:
-		if opt.J == 0 {
-			opt.J = 8
-		}
-		if opt.Mu == 0 {
-			opt.Mu = 1
-		}
-		if opt.Window == 0 {
-			opt.Window = 96
-		}
-		return align.NewTwoSided(align.ProposedConfig{
-			J:      opt.J,
-			Window: opt.Window,
-			Estimator: covest.Options{
-				Gamma:    channel.DBToLinear(l.spec.SNRdB),
-				Mu:       opt.Mu,
-				MaxIters: 25,
-			},
-		}), nil
-	case SchemeHierarchical:
-		return align.NewHierarchical(antenna.NewHierCodebook(l.env.RXBook, 2, 2)), nil
-	case SchemeLocalRefine:
-		return align.NewLocalRefine(), nil
-	case SchemeDigital:
-		return align.NewDigital(), nil
-	default:
+	strat, err := align.ForScheme(string(scheme), l.env.RXBook, align.SchemeSpec{
+		J:      opt.J,
+		Mu:     opt.Mu,
+		Window: opt.Window,
+		Gamma:  channel.DBToLinear(l.spec.SNRdB),
+	})
+	if err != nil {
 		return nil, fmt.Errorf("mmwalign: unknown scheme %q", scheme)
 	}
+	return strat, nil
 }

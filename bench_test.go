@@ -319,6 +319,15 @@ func BenchmarkCodebookScore(b *testing.B) {
 	benchsuite.BenchCodebookScore(b)
 }
 
+// BenchmarkServeLoad is the canonical regression-guarded alignment-
+// server load benchmark (shared with cmd/benchdiff): a 16-request burst
+// from 8 client workers against a 4-slot server, reporting p50/p95/p99
+// request latency and the deterministic best-beam score. Compare
+// against BENCH_serve.json with cmd/benchdiff.
+func BenchmarkServeLoad(b *testing.B) {
+	benchsuite.BenchServeLoad(b)
+}
+
 // BenchmarkEigHermitian64 measures the 64×64 Hermitian Jacobi
 // eigendecomposition, the inner kernel of every covariance estimation.
 func BenchmarkEigHermitian64(b *testing.B) {

@@ -18,7 +18,10 @@
 //
 // Fidelity metrics are deterministic functions of the seeded workloads,
 // so their tolerance defaults are tight; timing tolerances default
-// looser because wall-clock benchmarks are noisy.
+// looser because wall-clock benchmarks are noisy. Metrics with an _ns
+// suffix (the serve workload's latency percentiles) are wall-clock too
+// and are compared relatively under -lat-tol instead of the fidelity
+// drift tolerances.
 package main
 
 import (
@@ -58,7 +61,7 @@ func baselinePath(dir, name string) string {
 // defaultSet is the workload list used when -bench is not given. It
 // covers both hot-path kernels and one single-path figure of each kind;
 // the multipath figures are available by name.
-var defaultSet = []string{"estimate", "eigen", "gemm", "codebook", "fig5", "fig7"}
+var defaultSet = []string{"estimate", "eigen", "gemm", "codebook", "serve", "fig5", "fig7"}
 
 func main() {
 	var (
@@ -71,6 +74,7 @@ func main() {
 		allocTol = flag.Float64("alloc-tol", 0.10, "allowed relative allocs/op regression before failing")
 		metRel   = flag.Float64("metric-rel-tol", 0.05, "allowed relative fidelity-metric drift")
 		metAbs   = flag.Float64("metric-abs-tol", 0.05, "allowed absolute fidelity-metric drift")
+		latTol   = flag.Float64("lat-tol", 1.5, "allowed relative regression for _ns latency metrics (wall-clock percentiles are noisy)")
 	)
 	flag.Parse()
 
@@ -115,7 +119,7 @@ func main() {
 			failed = true
 			continue
 		}
-		if !diff(os.Stdout, base, cur, *nsTol, *allocTol, *metRel, *metAbs) {
+		if !diff(os.Stdout, base, cur, *nsTol, *allocTol, *metRel, *metAbs, *latTol) {
 			failed = true
 		}
 	}
@@ -168,7 +172,7 @@ func readBaseline(dir, name string) (Baseline, error) {
 
 // diff prints a comparison and reports whether the current run is within
 // tolerance of the baseline.
-func diff(out io.Writer, base, cur Baseline, nsTol, allocTol, metRel, metAbs float64) bool {
+func diff(out io.Writer, base, cur Baseline, nsTol, allocTol, metRel, metAbs, latTol float64) bool {
 	ok := true
 	fmt.Fprintf(out, "%s:\n", base.Name)
 	nsDelta := relDelta(cur.NsPerOp, base.NsPerOp)
@@ -197,6 +201,17 @@ func diff(out io.Writer, base, cur Baseline, nsTol, allocTol, metRel, metAbs flo
 		if !present {
 			fmt.Fprintf(out, "  %-9s missing in current run  FAIL\n", k)
 			ok = false
+			continue
+		}
+		// _ns-suffixed metrics are wall-clock latency percentiles: they
+		// flap far beyond the tight fidelity tolerances, so they get the
+		// timing-style relative comparison under -lat-tol instead.
+		if strings.HasSuffix(k, "_ns") {
+			d := relDelta(cv, bv)
+			fmt.Fprintf(out, "  %-9s %12.0f -> %12.0f  (%s)%s\n", k, bv, cv, d, verdict(d.exceeds(latTol)))
+			if d.exceeds(latTol) {
+				ok = false
+			}
 			continue
 		}
 		drift := math.Abs(cv - bv)

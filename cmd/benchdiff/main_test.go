@@ -61,7 +61,7 @@ func TestDiffZeroBaselineRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	cur := back
 	cur.NsPerOp = 1100
-	if !diff(&buf, back, cur, 0.25, 0.10, 0.05, 0.05) {
+	if !diff(&buf, back, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
 		t.Errorf("0→0 allocs failed the diff:\n%s", buf.String())
 	}
 
@@ -69,7 +69,7 @@ func TestDiffZeroBaselineRoundTrip(t *testing.T) {
 	// absolute delta in the report instead of Inf.
 	buf.Reset()
 	cur.AllocsPerOp = 3
-	if diff(&buf, back, cur, 0.25, 0.10, 0.05, 0.05) {
+	if diff(&buf, back, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
 		t.Errorf("0→3 allocs passed the diff:\n%s", buf.String())
 	}
 	out := buf.String()
@@ -78,5 +78,46 @@ func TestDiffZeroBaselineRoundTrip(t *testing.T) {
 	}
 	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
 		t.Errorf("diff printed non-finite deltas:\n%s", out)
+	}
+}
+
+func TestDiffLatencyMetricsUseLatTol(t *testing.T) {
+	// _ns-suffixed metrics are wall-clock percentiles: the tight
+	// fidelity drift tolerances (0.05 absolute!) would reject every run,
+	// so they must be compared relatively under -lat-tol instead.
+	base := Baseline{
+		Name:       "serve",
+		Iterations: 10,
+		NsPerOp:    1e6,
+		Metrics: map[string]float64{
+			"p95_ns":     2_000_000,
+			"best_score": 1.25,
+		},
+	}
+
+	// A 2x latency excursion is inside the default 1.5 relative
+	// tolerance even though the absolute drift is a million ns.
+	cur := base
+	cur.Metrics = map[string]float64{"p95_ns": 4_000_000, "best_score": 1.25}
+	var buf bytes.Buffer
+	if !diff(&buf, base, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+		t.Errorf("2x p95 within lat-tol failed the diff:\n%s", buf.String())
+	}
+
+	// A 3x excursion exceeds it and must fail.
+	buf.Reset()
+	cur.Metrics = map[string]float64{"p95_ns": 6_000_000, "best_score": 1.25}
+	if diff(&buf, base, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+		t.Errorf("3x p95 passed the diff:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "p95_ns") || !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("missing p95_ns failure report:\n%s", buf.String())
+	}
+
+	// The fidelity metric keeps its tight tolerance regardless.
+	buf.Reset()
+	cur.Metrics = map[string]float64{"p95_ns": 2_000_000, "best_score": 1.45}
+	if diff(&buf, base, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+		t.Errorf("best_score drift of 0.2 passed the diff:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,99 @@
+package mmwalign
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewAlignHandlerServesAndDrains exercises the public embedding
+// path end-to-end: both endpoints answer over real HTTP, /v1/align
+// agrees with the in-process Link API on the same seeded problem, and
+// the returned drain function stops admission.
+func TestNewAlignHandlerServesAndDrains(t *testing.T) {
+	handler, drain := NewAlignHandler(ServerConfig{})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		res, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		data, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, data
+	}
+
+	status, data := post("/v1/estimate", `{
+		"panel_x": 4, "panel_z": 1, "beams_az": 4, "beams_el": 1,
+		"max_iters": 5, "top_k": 2,
+		"observations": [
+			{"beam": 0, "energy": 2.0}, {"beam": 1, "energy": 7.0},
+			{"beam": 2, "energy": 4.0}, {"beam": 3, "energy": 2.2}
+		]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("/v1/estimate status = %d; body %s", status, data)
+	}
+	var est struct {
+		Picks struct {
+			Best struct {
+				Beam int `json:"beam"`
+			} `json:"best"`
+			TopK []json.RawMessage `json:"top_k"`
+		} `json:"picks"`
+	}
+	if err := json.Unmarshal(data, &est); err != nil {
+		t.Fatalf("decoding estimate response: %v", err)
+	}
+	if est.Picks.Best.Beam != 1 || len(est.Picks.TopK) != 2 {
+		t.Errorf("picks = best %d, %d ranked; want beam 1, 2 ranked",
+			est.Picks.Best.Beam, len(est.Picks.TopK))
+	}
+
+	// The served alignment must agree with the in-process facade on the
+	// same seeded problem — the server is a transport, not a model.
+	status, data = post("/v1/align", `{"scheme": "scan", "budget": 16, "seed": 7}`)
+	if status != http.StatusOK {
+		t.Fatalf("/v1/align status = %d; body %s", status, data)
+	}
+	var al struct {
+		LossDB       float64 `json:"loss_db"`
+		Measurements int     `json:"measurements"`
+	}
+	if err := json.Unmarshal(data, &al); err != nil {
+		t.Fatalf("decoding align response: %v", err)
+	}
+	link, err := NewLink(LinkSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.Align(SchemeScan, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.LossDB != res.LossDB || al.Measurements != res.Measurements {
+		t.Errorf("served align (loss %v, %d meas) != Link.Align (loss %v, %d meas)",
+			al.LossDB, al.Measurements, res.LossDB, res.Measurements)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	status, data = post("/v1/estimate", `{"observations": [{"beam": 0, "energy": 2}]}`)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("status after drain = %d, want 503; body %s", status, data)
+	}
+}

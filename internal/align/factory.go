@@ -1,0 +1,92 @@
+package align
+
+import (
+	"fmt"
+
+	"mmwalign/internal/antenna"
+	"mmwalign/internal/covest"
+)
+
+// SchemeSpec bundles the tunable knobs of the built-in strategies for
+// construction by name. The zero value selects the reproduction's
+// defaults everywhere; fields irrelevant to a given scheme are ignored
+// (e.g. J for the Scan baseline).
+type SchemeSpec struct {
+	// J is the number of RX measurements per TX slot (proposed and
+	// two-sided). Default 8.
+	J int
+	// Mu is the nuclear-norm regularization weight. Default 1.
+	Mu float64
+	// Window bounds the estimation history. Default 96.
+	Window int
+	// MaxIters bounds the proximal solver iterations. Default 25.
+	MaxIters int
+	// Gamma is the pre-beamforming SNR (linear) handed to the estimator.
+	// When 0 the strategy fills it from the sounder at run time.
+	Gamma float64
+	// AutoMuGrid, when non-empty, enables holdout µ selection over the
+	// grid (proposed and two-sided).
+	AutoMuGrid []float64
+}
+
+func (s SchemeSpec) withDefaults() SchemeSpec {
+	if s.J == 0 {
+		s.J = 8
+	}
+	if s.Mu == 0 {
+		s.Mu = 1
+	}
+	if s.Window == 0 {
+		s.Window = 96
+	}
+	if s.MaxIters == 0 {
+		s.MaxIters = 25
+	}
+	return s
+}
+
+// ForScheme constructs a built-in strategy by name. rxBook is the RX
+// codebook the environment will run with (needed by the hierarchical
+// descent, ignored by the others). This is the single construction
+// switch shared by the public API and the serving layer, so a scheme
+// name means the same strategy everywhere.
+func ForScheme(name string, rxBook *antenna.Codebook, spec SchemeSpec) (Strategy, error) {
+	switch name {
+	case "random":
+		return RandomStrategy{}, nil
+	case "scan":
+		return ScanStrategy{}, nil
+	case "exhaustive":
+		return ExhaustiveStrategy{}, nil
+	case "proposed", "two-sided":
+		spec = spec.withDefaults()
+		cfg := ProposedConfig{
+			J:          spec.J,
+			Window:     spec.Window,
+			AutoMuGrid: spec.AutoMuGrid,
+			Estimator: covest.Options{
+				Gamma:    spec.Gamma,
+				Mu:       spec.Mu,
+				MaxIters: spec.MaxIters,
+			},
+		}
+		if name == "two-sided" {
+			return NewTwoSided(cfg), nil
+		}
+		return NewProposed(cfg), nil
+	case "hierarchical":
+		return NewHierarchical(antenna.NewHierCodebook(rxBook, 2, 2)), nil
+	case "local-refine":
+		return NewLocalRefine(), nil
+	case "digital":
+		return NewDigital(), nil
+	default:
+		return nil, fmt.Errorf("align: unknown scheme %q", name)
+	}
+}
+
+// SchemeNames lists every name ForScheme accepts, in presentation
+// order.
+func SchemeNames() []string {
+	return []string{"proposed", "random", "scan", "exhaustive", "hierarchical", "two-sided", "local-refine", "digital"}
+}

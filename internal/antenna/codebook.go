@@ -176,10 +176,16 @@ func (c *Codebook) SnakeOrder() []int {
 // scoreSpace is a pooled workspace for one batched scoring pass: the
 // Q·W product buffer, the columnwise-dot accumulator, and a scratch
 // score vector for the selection methods.
+//
+// A scoreSpace is single-owner between getScoreSpace and putScoreSpace;
+// the leased flag is the debug assertion enforcing that (a double put
+// would let two scoring passes share one buffer and corrupt each
+// other's scores silently).
 type scoreSpace struct {
 	qw     *cmat.Matrix
 	dots   []complex128
 	scores []float64
+	leased bool
 }
 
 // packedWeights returns the dim×M matrix whose column i is beam i's
@@ -213,7 +219,24 @@ func (c *Codebook) getScoreSpace() *scoreSpace {
 			scores: make([]float64, w.Cols()),
 		}
 	}
+	if ws.leased {
+		panic("antenna: pooled scoreSpace fetched while still leased")
+	}
+	ws.leased = true
 	return ws
+}
+
+// putScoreSpace returns a workspace to the pool, asserting single
+// ownership: returning the same workspace twice would hand one buffer
+// to two concurrent scoring passes. Callers defer this so the workspace
+// is recycled (not leaked) even when a scoring pass panics on a
+// dimension mismatch.
+func (c *Codebook) putScoreSpace(ws *scoreSpace) {
+	if !ws.leased {
+		panic("antenna: pooled scoreSpace returned twice")
+	}
+	ws.leased = false
+	c.scorePool.Put(ws)
 }
 
 // scoresInto computes every beam's quadratic form against q into dst
@@ -244,8 +267,8 @@ func (c *Codebook) QuadFormScoresInto(q *cmat.Matrix, dst []float64) []float64 {
 		return dst
 	}
 	ws := c.getScoreSpace()
+	defer c.putScoreSpace(ws)
 	c.scoresInto(q, ws, dst)
-	c.scorePool.Put(ws)
 	return dst
 }
 
@@ -259,6 +282,7 @@ func (c *Codebook) BestQuadForm(q *cmat.Matrix) (int, float64) {
 		return -1, math.Inf(-1)
 	}
 	ws := c.getScoreSpace()
+	defer c.putScoreSpace(ws)
 	c.scoresInto(q, ws, ws.scores)
 	best, bestVal := -1, math.Inf(-1)
 	for i, v := range ws.scores {
@@ -266,7 +290,6 @@ func (c *Codebook) BestQuadForm(q *cmat.Matrix) (int, float64) {
 			best, bestVal = i, v
 		}
 	}
-	c.scorePool.Put(ws)
 	return best, bestVal
 }
 
@@ -297,6 +320,7 @@ func (c *Codebook) TopKQuadFormInto(q *cmat.Matrix, k int, dst []int) []int {
 		return dst
 	}
 	ws := c.getScoreSpace()
+	defer c.putScoreSpace(ws)
 	c.scoresInto(q, ws, ws.scores)
 	scores := ws.scores
 	// Replace NaN with −Inf so both selection paths compare under the
@@ -328,7 +352,6 @@ func (c *Codebook) TopKQuadFormInto(q *cmat.Matrix, k int, dst []int) []int {
 			}
 			dst = append(dst, best)
 		}
-		c.scorePool.Put(ws)
 		return dst
 	}
 	for i := range scores {
@@ -341,7 +364,6 @@ func (c *Codebook) TopKQuadFormInto(q *cmat.Matrix, k int, dst []int) []int {
 		return dst[a] < dst[b]
 	})
 	dst = dst[:k]
-	c.scorePool.Put(ws)
 	return dst
 }
 

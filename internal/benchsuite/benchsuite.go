@@ -55,6 +55,11 @@ func All() []Workload {
 			Func: BenchCodebookScore,
 		},
 		{
+			Name: "serve",
+			Desc: "alignment-server load burst (16 requests, 8 clients, 4 slots) with p50/p95/p99 latency",
+			Func: BenchServeLoad,
+		},
+		{
 			Name: "fig5",
 			Desc: "Fig. 5 regeneration (SNR loss vs search rate, single-path, reduced drops)",
 			Func: figureFunc(5, "loss_dB"),

@@ -1,0 +1,162 @@
+package benchsuite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mmwalign/internal/metrics"
+	"mmwalign/internal/serve"
+)
+
+// The serve workload drives the alignment server end-to-end over real
+// HTTP: pooled session lease, covariance estimation, whole-codebook
+// scoring, JSON encode — under the same bounded-queue admission control
+// cmd/beamserve runs with. It reports wall-clock latency percentiles
+// (p50_ns/p95_ns/p99_ns) alongside the usual ns/op, so benchdiff can
+// watch tail latency, not just mean throughput.
+const (
+	// serveLoadBurst is the number of requests issued per benchmark
+	// iteration; serveLoadWorkers is the client-side concurrency. The
+	// queue depth below is sized so the burst saturates the execution
+	// slots without tripping 503 backpressure — this workload measures
+	// the served path, not the rejection path.
+	serveLoadBurst   = 16
+	serveLoadWorkers = 8
+)
+
+// serveLoadBody builds the canonical load request: a 4×4 panel with a
+// 16-beam codebook and a peaked 12-observation window — small enough to
+// keep one request in the low milliseconds, large enough that the
+// estimator and scorer dominate over HTTP overhead.
+func serveLoadBody() []byte {
+	type observation struct {
+		Beam   int     `json:"beam"`
+		Energy float64 `json:"energy"`
+	}
+	obs := make([]observation, 0, 12)
+	for j := 0; j < 12; j++ {
+		d := float64(j - 5)
+		obs = append(obs, observation{Beam: j, Energy: 1 + 8/(1+d*d)})
+	}
+	body, err := json.Marshal(map[string]any{
+		"panel_x":      4,
+		"panel_z":      4,
+		"beams_az":     4,
+		"beams_el":     4,
+		"max_iters":    10,
+		"top_k":        4,
+		"observations": obs,
+	})
+	if err != nil {
+		panic(err) // fixture construction is deterministic; cannot fail
+	}
+	return body
+}
+
+// BenchServeLoad measures the alignment server under concurrent load:
+// each iteration fires a 16-request burst from 8 client workers at a
+// 4-slot server and waits for every response. Reported metrics: the
+// client-observed p50_ns/p95_ns/p99_ns request latencies and the
+// deterministic best-beam score (fidelity guard — the server must keep
+// returning the right beam under concurrency).
+func BenchServeLoad(b *testing.B) {
+	srv := serve.NewServer(serve.Config{
+		MaxConcurrent: 4,
+		// Deep enough that a full burst queues instead of bouncing.
+		QueueDepth: serveLoadBurst,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := serveLoadBody()
+	client := ts.Client()
+	url := ts.URL + "/v1/estimate"
+
+	// Warm the pool and capture the fidelity metric outside the timed
+	// region.
+	first, err := postServeLoad(client, url, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var resp struct {
+		Picks struct {
+			Best struct {
+				Beam  int     `json:"beam"`
+				Score float64 `json:"score"`
+			} `json:"best"`
+		} `json:"picks"`
+	}
+	if err := json.Unmarshal(first, &resp); err != nil {
+		b.Fatal(err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			wg   sync.WaitGroup
+			work = make(chan struct{}, serveLoadBurst)
+			errs = make(chan error, serveLoadBurst)
+		)
+		for j := 0; j < serveLoadBurst; j++ {
+			work <- struct{}{}
+		}
+		close(work)
+		for w := 0; w < serveLoadWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range work {
+					start := time.Now()
+					if _, err := postServeLoad(client, url, body); err != nil {
+						errs <- err
+						return
+					}
+					elapsed := float64(time.Since(start).Nanoseconds())
+					mu.Lock()
+					latencies = append(latencies, elapsed)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(metrics.Percentile(latencies, 50), "p50_ns")
+	b.ReportMetric(metrics.Percentile(latencies, 95), "p95_ns")
+	b.ReportMetric(metrics.Percentile(latencies, 99), "p99_ns")
+	b.ReportMetric(resp.Picks.Best.Score, "best_score")
+}
+
+// postServeLoad issues one estimate request and returns the body,
+// failing on any non-200 status.
+func postServeLoad(client *http.Client, url string, body []byte) ([]byte, error) {
+	res, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve load: status %d: %s", res.StatusCode, data)
+	}
+	return data, nil
+}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mmwalign/internal/cmat"
 )
@@ -233,11 +234,45 @@ type Stats struct {
 // calls (the per-TX-slot cadence of the proposed scheme) allocate only
 // for the returned matrix once the subspace dimension stabilizes. The
 // workspace makes an Estimator NOT safe for concurrent use; create one
-// estimator per goroutine.
+// estimator per goroutine, or lease pooled estimators so each request
+// holds exclusive ownership (internal/serve does this). The single-owner
+// contract is enforced: concurrent entry into Estimate panics rather
+// than silently corrupting the shared arenas.
 type Estimator struct {
 	n    int
 	opts Options
 	wk   *solverWork
+	// busy is the single-owner debug assertion: set on entry to
+	// EstimateContext, cleared on exit. A second concurrent entry means
+	// two goroutines share one workspace arena — always a caller bug —
+	// and panics immediately instead of corrupting iterates silently.
+	busy atomic.Bool
+}
+
+// Reset clears all cross-call solver state: the λ memoization tag and
+// the workspace iterate/gradient matrices. Every Estimate call fully
+// re-initializes the workspace from its inputs, so Reset is not needed
+// for correctness between calls on one owner; it exists for pooled
+// reuse across owners (a serving session lease), where it guarantees a
+// freshly leased estimator cannot observe any numeric residue — not
+// even transiently — of the previous owner's solve.
+func (e *Estimator) Reset() {
+	if e.wk == nil {
+		return
+	}
+	wk := e.wk
+	wk.lamFor = nil
+	for _, m := range []*cmat.Matrix{wk.grad, wk.scratch, wk.cur, wk.nxt, wk.extr, wk.best, wk.diff} {
+		if m != nil {
+			m.Zero()
+		}
+	}
+	for i := range wk.lambdas {
+		wk.lambdas[i] = 0
+	}
+	for i := range wk.coefs {
+		wk.coefs[i] = 0
+	}
 }
 
 // solverWork holds the reusable buffers of the proximal solver so
@@ -424,6 +459,10 @@ func (e *Estimator) Estimate(obs []Observation, warm *cmat.Matrix) (*cmat.Matrix
 // (StopCancelled). The returned matrix is valid and PSD whenever it is
 // non-nil, even when err is non-nil.
 func (e *Estimator) EstimateContext(ctx context.Context, obs []Observation, warm *cmat.Matrix) (*cmat.Matrix, Stats, error) {
+	if !e.busy.CompareAndSwap(false, true) {
+		panic("covest: concurrent Estimate on a shared Estimator (single-owner workspace)")
+	}
+	defer e.busy.Store(false)
 	if len(obs) == 0 {
 		return nil, Stats{}, ErrNoObservations
 	}

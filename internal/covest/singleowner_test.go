@@ -1,0 +1,155 @@
+package covest
+
+import (
+	"math"
+	"testing"
+
+	"mmwalign/internal/cmat"
+)
+
+// singleOwnerFixture builds a small deterministic estimation problem.
+func singleOwnerFixture(t *testing.T) (*Estimator, []Observation) {
+	t.Helper()
+	est, err := NewEstimator(4, Options{Gamma: 1, MaxIters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]Observation, 0, 4)
+	for j := 0; j < 4; j++ {
+		v := cmat.NewVector(4)
+		v[j] = 1
+		d := float64(j - 1)
+		obs = append(obs, Observation{V: v, Energy: 1 + 5/(1+d*d)})
+	}
+	return est, obs
+}
+
+// TestConcurrentEstimatePanics pins the single-owner contract: entering
+// Estimate while another solve owns the workspace must panic rather
+// than silently corrupting the shared arenas.
+func TestConcurrentEstimatePanics(t *testing.T) {
+	est, obs := singleOwnerFixture(t)
+	// Simulate a concurrent owner holding the workspace.
+	if !est.busy.CompareAndSwap(false, true) {
+		t.Fatal("fresh estimator already busy")
+	}
+	defer est.busy.Store(false)
+	defer func() {
+		if recover() == nil {
+			t.Error("Estimate on a busy estimator did not panic")
+		}
+	}()
+	_, _, _ = est.Estimate(obs, nil)
+}
+
+// TestBusyClearedAfterEstimate checks the flag round-trips across both
+// success and error paths, so a failed solve does not wedge the
+// estimator.
+func TestBusyClearedAfterEstimate(t *testing.T) {
+	est, obs := singleOwnerFixture(t)
+	if _, _, err := est.Estimate(obs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if est.busy.Load() {
+		t.Error("busy flag still set after successful Estimate")
+	}
+
+	bad := append([]Observation(nil), obs...)
+	bad[0].Energy = math.NaN()
+	if _, _, err := est.Estimate(bad, nil); err == nil {
+		t.Fatal("NaN energy accepted")
+	}
+	if est.busy.Load() {
+		t.Error("busy flag still set after rejected Estimate")
+	}
+}
+
+// TestResetRestoresVirginState is the satellite regression for pooled
+// reuse: after an unrelated solve plus Reset, the estimator must
+// produce results bitwise identical to a freshly constructed one.
+func TestResetRestoresVirginState(t *testing.T) {
+	fresh, obs := singleOwnerFixture(t)
+	wantQ, wantStats, err := fresh.Estimate(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused, _ := singleOwnerFixture(t)
+	// Poison the workspace with a different problem (different energies
+	// drive different iterates into every arena), then reset.
+	poison := append([]Observation(nil), obs...)
+	for i := range poison {
+		poison[i].Energy = 1 + float64(3-i)*2.5
+	}
+	if _, _, err := reused.Estimate(poison, nil); err != nil {
+		t.Fatal(err)
+	}
+	reused.Reset()
+
+	gotQ, gotStats, err := reused.Estimate(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats after Reset differ:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+	for i := 0; i < wantQ.Rows(); i++ {
+		for j := 0; j < wantQ.Cols(); j++ {
+			if gotQ.At(i, j) != wantQ.At(i, j) {
+				t.Fatalf("Q[%d,%d] = %v after Reset, want %v (bitwise)", i, j, gotQ.At(i, j), wantQ.At(i, j))
+			}
+		}
+	}
+}
+
+// TestResetZeroesWorkspace inspects the arenas directly: every matrix
+// zeroed, the λ memoization cleared — no numeric residue survives a
+// Reset even transiently.
+func TestResetZeroesWorkspace(t *testing.T) {
+	est, obs := singleOwnerFixture(t)
+	if _, _, err := est.Estimate(obs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if est.wk == nil {
+		t.Fatal("no workspace allocated by Estimate")
+	}
+	est.Reset()
+	wk := est.wk
+	if wk.lamFor != nil {
+		t.Error("λ memoization tag survived Reset")
+	}
+	for name, m := range map[string]*cmat.Matrix{
+		"grad": wk.grad, "scratch": wk.scratch, "cur": wk.cur,
+		"nxt": wk.nxt, "extr": wk.extr, "best": wk.best, "diff": wk.diff,
+	} {
+		if m == nil {
+			continue
+		}
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if m.At(i, j) != 0 {
+					t.Fatalf("workspace %s[%d,%d] = %v after Reset, want 0", name, i, j, m.At(i, j))
+				}
+			}
+		}
+	}
+	for i, l := range wk.lambdas {
+		if l != 0 {
+			t.Errorf("lambdas[%d] = %v after Reset, want 0", i, l)
+		}
+	}
+	for i, c := range wk.coefs {
+		if c != 0 {
+			t.Errorf("coefs[%d] = %v after Reset, want 0", i, c)
+		}
+	}
+}
+
+// TestResetOnFreshEstimatorIsNoop guards the nil-workspace path.
+func TestResetOnFreshEstimatorIsNoop(t *testing.T) {
+	est, err := NewEstimator(4, Options{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Reset() // must not panic
+}

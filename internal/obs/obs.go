@@ -410,19 +410,30 @@ func ProgressPrinter(w io.Writer, label string, minInterval time.Duration) func(
 }
 
 // published guards expvar registration, which panics on duplicates.
+// Each name maps to an atomic pointer holding the recorder currently
+// backing the expvar; re-publishing swaps the pointer instead of
+// re-registering.
 var published sync.Map
 
-// Publish registers the recorder's live snapshot under the given
-// expvar name (idempotent; later recorders under the same name are
-// ignored, matching expvar's append-only registry).
+// Publish registers the recorder's live snapshot under the given expvar
+// name. expvar's registry is append-only, so the name is registered at
+// most once; a later Publish under the same name rebinds the expvar to
+// the new recorder (last publish wins). Rebinding matters for
+// long-running processes that construct more than one recorder per name
+// — a serving process recycled across tests, or a server rebuilt after
+// a config reload — where pinning the first recorder forever would
+// freeze the exported stats.
 func Publish(name string, r *Recorder) {
 	if r == nil {
 		return
 	}
-	if _, loaded := published.LoadOrStore(name, true); loaded {
+	slot, loaded := published.LoadOrStore(name, &atomic.Pointer[Recorder]{})
+	ptr := slot.(*atomic.Pointer[Recorder])
+	ptr.Store(r)
+	if loaded {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	expvar.Publish(name, expvar.Func(func() any { return ptr.Load().Snapshot() }))
 }
 
 // ctxKey is the private context key for the recorder.

@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mmwalign/internal/meas"
+	"mmwalign/internal/metrics"
+	"mmwalign/internal/obs"
+)
+
+// Config tunes the server. The zero value is usable: defaults are
+// filled by NewServer.
+type Config struct {
+	// MaxConcurrent bounds requests executing simultaneously (default 4).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot beyond
+	// MaxConcurrent (default 8). Arrivals past MaxConcurrent+QueueDepth
+	// are rejected with 503 + Retry-After.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry its own timeout_ms (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps a request-supplied timeout_ms (default 60s).
+	MaxTimeout time.Duration
+	// RetryAfterSeconds is the Retry-After hint on 503 responses
+	// (default 1).
+	RetryAfterSeconds int
+	// WrapProber, when non-nil, wraps the sounder of every /v1/align
+	// run. This is the server's prober seam: fault injection
+	// (internal/faultinject) and instrumentation interpose here.
+	WrapProber func(meas.Prober) meas.Prober
+	// Recorder receives server-level telemetry (request counters,
+	// per-endpoint latency phases). Defaults to a fresh recorder,
+	// reachable via Server.Recorder.
+	Recorder *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.RetryAfterSeconds == 0 {
+		c.RetryAfterSeconds = 1
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.New()
+	}
+	return c
+}
+
+// Server is the alignment service: pooled estimator sessions behind
+// bounded-queue admission control, with per-request deadlines, graceful
+// drain, and per-endpoint latency telemetry.
+type Server struct {
+	cfg  Config
+	pool *Pool
+	rec  *obs.Recorder
+	mux  *http.ServeMux
+
+	// sem holds the MaxConcurrent execution slots; admitted requests
+	// queue on it (bounded by the inflight accounting below).
+	sem chan struct{}
+
+	// mu guards the admission state. inflight counts admitted requests —
+	// executing plus queued — so the bound and the drain condition share
+	// one counter and cannot disagree. A sync.WaitGroup would race here:
+	// Add after Wait has begun is undefined, whereas a mutex-guarded
+	// counter makes reject-after-drain-start exact.
+	mu          sync.Mutex
+	inflight    int
+	draining    bool
+	drainClosed bool
+	drained     chan struct{}
+
+	lat *latencyTracker
+}
+
+// NewServer builds a server with a fresh session pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(),
+		rec:     cfg.Recorder,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		drained: make(chan struct{}),
+		lat:     newLatencyTracker(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/estimate", s.timed("estimate", s.handleEstimate))
+	s.mux.HandleFunc("/v1/align", s.timed("align", s.handleAlign))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Recorder returns the server-level telemetry recorder (for expvar
+// publication by the binary).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Pool returns the session pool (stats surface for /statsz and tests).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Drain puts the server into draining mode — new requests are rejected
+// with 503 — and blocks until every in-flight request has completed or
+// ctx expires. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 && !s.drainClosed {
+		s.drainClosed = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun draining.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// errKind is the typed error taxonomy of the JSON error envelope.
+type errKind string
+
+const (
+	errBadRequest       errKind = "bad_request"
+	errQueueFull        errKind = "queue_full"
+	errDraining         errKind = "draining"
+	errDeadlineExceeded errKind = "deadline_exceeded"
+	errEstimationFailed errKind = "estimation_failed"
+	errInternalPanic    errKind = "internal_panic"
+)
+
+func (k errKind) status() int {
+	switch k {
+	case errBadRequest:
+		return http.StatusBadRequest
+	case errQueueFull, errDraining:
+		return http.StatusServiceUnavailable
+	case errDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorInfo is the error half of the envelope.
+type errorInfo struct {
+	Kind   errKind `json:"kind"`
+	Detail string  `json:"detail"`
+}
+
+// fallbackInfo notes the degradation policy a client should apply (or
+// that the server already applied): the scan-order sweep every scheme
+// reduces to when estimation is unavailable.
+type fallbackInfo struct {
+	// Policy names the degradation mode; always "scan-order".
+	Policy string `json:"policy"`
+	// RXBeams, when present, is the prefix of the RX codebook's
+	// snake-raster order the client can sound directly.
+	RXBeams []int `json:"rx_beams,omitempty"`
+	// Count, when present, is how many times the run already fell back
+	// internally (the estimator_fallbacks counter of the run).
+	Count int64 `json:"count,omitempty"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error    errorInfo     `json:"error"`
+	Fallback *fallbackInfo `json:"fallback,omitempty"`
+}
+
+// writeError emits the typed JSON error envelope, attaching Retry-After
+// to the backpressure rejections.
+func (s *Server) writeError(w http.ResponseWriter, kind errKind, detail string, fb *fallbackInfo) {
+	if kind == errQueueFull || kind == errDraining {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(kind.status())
+	_ = json.NewEncoder(w).Encode(errorBody{Error: errorInfo{Kind: kind, Detail: detail}, Fallback: fb})
+	s.rec.Counter("serve_errors_" + string(kind)).Add(1)
+}
+
+// writeJSON emits a 200 with the marshalled body. Bodies are
+// deterministic functions of the request (no timestamps, no latency),
+// so identical requests produce byte-identical responses at any
+// concurrency — the property the equivalence tests pin down. The body
+// is marshalled before any byte is written, so a marshal failure (e.g.
+// a non-finite float that slipped past the handlers' guards) yields a
+// clean 500 envelope instead of a 200 with an empty body.
+func writeJSON(w http.ResponseWriter, body any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":{"kind":"internal_panic","detail":"response marshal failed"}}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// admit passes a request through the bounded admission queue. On
+// success the returned release func must be called exactly once. On
+// rejection it returns the error kind to report.
+func (s *Server) admit(ctx context.Context) (release func(), kind errKind, detail string) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining, "server is draining"
+	}
+	if s.inflight >= s.cfg.MaxConcurrent+s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, errQueueFull,
+			fmt.Sprintf("admission queue full (%d executing + %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+	}
+	s.inflight++
+	s.mu.Unlock()
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.requestDone()
+		return nil, errDeadlineExceeded, "deadline expired while queued"
+	}
+	return func() {
+		<-s.sem
+		s.requestDone()
+	}, "", ""
+}
+
+// requestDone retires one admitted request and completes a pending
+// drain when it was the last.
+func (s *Server) requestDone() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 && !s.drainClosed {
+		s.drainClosed = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// requestContext derives the per-request deadline: the request's
+// timeout_ms clamped to MaxTimeout, or DefaultTimeout when absent. A
+// negative timeout means "already expired" and short-circuits before
+// admission.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, bool) {
+	if timeoutMS < 0 {
+		return nil, nil, false
+	}
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, true
+}
+
+// timed wraps a handler with method filtering, request counting, and
+// per-endpoint latency telemetry. Latency is recorded server-side only
+// (recorder phase + percentile tracker) — it never enters the response
+// body.
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.rec.Counter("serve_requests_" + name).Add(1)
+		start := time.Now()
+		h(w, r)
+		ns := time.Since(start).Nanoseconds()
+		s.rec.Phase("serve." + name).AddNS(ns)
+		s.lat.observe(name, ns)
+	}
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+}
+
+// statszBody is the /statsz response.
+type statszBody struct {
+	Pool     PoolStats                  `json:"pool"`
+	Inflight int                        `json:"inflight"`
+	Draining bool                       `json:"draining"`
+	Latency  map[string]LatencySummary `json:"latency_ns"`
+	Counters map[string]int64           `json:"counters,omitempty"`
+}
+
+// handleStatsz reports pool, admission, and latency statistics.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight := s.inflight
+	draining := s.draining
+	s.mu.Unlock()
+	snap := s.rec.Snapshot()
+	writeJSON(w, statszBody{
+		Pool:     s.pool.Stats(),
+		Inflight: inflight,
+		Draining: draining,
+		Latency:  s.lat.summaries(),
+		Counters: snap.Counters,
+	})
+}
+
+// LatencySummary is the percentile digest of one endpoint's latency.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// latencyTracker keeps a bounded reservoir of per-endpoint latency
+// samples for percentile reporting. metrics.Histogram is not
+// concurrency-safe, so all state lives behind the tracker's mutex.
+type latencyTracker struct {
+	mu   sync.Mutex
+	byEP map[string]*latencyRing
+}
+
+// latencyRing is a fixed-capacity overwrite-oldest sample buffer plus a
+// coarse histogram (0–100ms) for shape inspection.
+type latencyRing struct {
+	samples []float64
+	next    int
+	total   int
+	hist    *metrics.Histogram
+}
+
+const latencyRingCap = 4096
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{byEP: make(map[string]*latencyRing)}
+}
+
+func (t *latencyTracker) observe(endpoint string, ns int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.byEP[endpoint]
+	if !ok {
+		r = &latencyRing{
+			samples: make([]float64, 0, latencyRingCap),
+			hist:    metrics.NewHistogram(0, 100e6, 50),
+		}
+		t.byEP[endpoint] = r
+	}
+	if len(r.samples) < latencyRingCap {
+		r.samples = append(r.samples, float64(ns))
+	} else {
+		r.samples[r.next] = float64(ns)
+		r.next = (r.next + 1) % latencyRingCap
+	}
+	r.total++
+	r.hist.Add(float64(ns))
+}
+
+// summaries digests every endpoint's reservoir into percentiles.
+func (t *latencyTracker) summaries() map[string]LatencySummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]LatencySummary, len(t.byEP))
+	for ep, r := range t.byEP {
+		xs := append([]float64(nil), r.samples...)
+		out[ep] = LatencySummary{
+			Count: r.total,
+			P50:   metrics.Percentile(xs, 50),
+			P95:   metrics.Percentile(xs, 95),
+			P99:   metrics.Percentile(xs, 99),
+		}
+	}
+	return out
+}
+
+// decodeBody decodes a JSON request body with a size cap and strict
+// field checking, so typos in tuning knobs fail loudly instead of
+// silently selecting defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// ctxErrKind maps a context error to the envelope taxonomy.
+func ctxErrKind(err error) (errKind, bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errDeadlineExceeded, true
+	case errors.Is(err, context.Canceled):
+		return errDeadlineExceeded, true
+	}
+	return "", false
+}
