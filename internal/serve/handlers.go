@@ -179,9 +179,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errBadRequest, err.Error(), nil)
 		return
 	}
+	sess := lease.Session()
+	book := sess.Book()
 	// A panic mid-solve means the session's arenas may hold torn state:
 	// discard the session (the pool builds a fresh one) instead of
-	// poisoning the next request, and answer a typed 500.
+	// poisoning the next request, and answer a typed 500. The recovery
+	// path reads the codebook captured above — shared, immutable, and
+	// alive past the lease — because Lease.Session() panics by design
+	// once Discard has run.
 	done := false
 	defer func() {
 		if p := recover(); p != nil {
@@ -190,12 +195,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			}
 			s.rec.Counter("serve_panics").Add(1)
 			s.writeError(w, errInternalPanic, "request panicked; session discarded",
-				scanFallback(lease.Session().Book(), req.TopK))
+				scanFallback(book, req.TopK))
 		}
 	}()
+	if s.cfg.estimateHook != nil {
+		s.cfg.estimateHook()
+	}
 
-	sess := lease.Session()
-	book := sess.Book()
 	sess.obsBuf = sess.obsBuf[:0]
 	for i, o := range req.Observations {
 		if o.Beam < 0 || o.Beam >= book.Size() {
@@ -360,6 +366,30 @@ func (r alignRequest) withDefaults() alignRequest {
 	return r
 }
 
+// validate rejects geometry the environment constructor would panic on
+// (negative panel or beam-grid dimensions reach cmat.NewVector /
+// NewGridCodebook before any recover is armed). withDefaults has
+// already filled zeros, so anything non-positive here was explicitly
+// negative in the request.
+func (r alignRequest) validate() error {
+	if r.TXPanelX <= 0 || r.TXPanelZ <= 0 {
+		return fmt.Errorf("tx panel %dx%d must be positive", r.TXPanelX, r.TXPanelZ)
+	}
+	if r.RXPanelX <= 0 || r.RXPanelZ <= 0 {
+		return fmt.Errorf("rx panel %dx%d must be positive", r.RXPanelX, r.RXPanelZ)
+	}
+	if r.TXBeamsAz <= 0 || r.TXBeamsEl <= 0 {
+		return fmt.Errorf("tx beam grid %dx%d must be positive", r.TXBeamsAz, r.TXBeamsEl)
+	}
+	if r.RXBeamsAz <= 0 || r.RXBeamsEl <= 0 {
+		return fmt.Errorf("rx beam grid %dx%d must be positive", r.RXBeamsAz, r.RXBeamsEl)
+	}
+	if r.Snapshots <= 0 {
+		return fmt.Errorf("snapshots %d must be positive", r.Snapshots)
+	}
+	return nil
+}
+
 // alignResponse is the POST /v1/align success body.
 type alignResponse struct {
 	Scheme string `json:"scheme"`
@@ -395,6 +425,10 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	req = req.withDefaults()
 	if req.Budget <= 0 {
 		s.writeError(w, errBadRequest, "budget must be positive", nil)
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeError(w, errBadRequest, err.Error(), nil)
 		return
 	}
 

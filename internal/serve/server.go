@@ -40,6 +40,12 @@ type Config struct {
 	// per-endpoint latency phases). Defaults to a fresh recorder,
 	// reachable via Server.Recorder.
 	Recorder *obs.Recorder
+
+	// estimateHook, when non-nil, runs inside the estimate handler after
+	// the session lease is taken and the panic recovery is armed.
+	// In-package test seam for the panic-recovery path, which has no
+	// prober to inject faults through.
+	estimateHook func()
 }
 
 func (c Config) withDefaults() Config {
@@ -154,9 +160,15 @@ const (
 	errQueueFull        errKind = "queue_full"
 	errDraining         errKind = "draining"
 	errDeadlineExceeded errKind = "deadline_exceeded"
+	errClientGone       errKind = "client_gone"
 	errEstimationFailed errKind = "estimation_failed"
 	errInternalPanic    errKind = "internal_panic"
 )
+
+// statusClientClosedRequest is the de-facto (nginx) status for a client
+// that hung up before the response: the peer is gone, so the code
+// exists for logs and the serve_errors_* taxonomy, not for the wire.
+const statusClientClosedRequest = 499
 
 func (k errKind) status() int {
 	switch k {
@@ -166,6 +178,8 @@ func (k errKind) status() int {
 		return http.StatusServiceUnavailable
 	case errDeadlineExceeded:
 		return http.StatusGatewayTimeout
+	case errClientGone:
+		return statusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -249,6 +263,9 @@ func (s *Server) admit(ctx context.Context) (release func(), kind errKind, detai
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.requestDone()
+		if k, _ := ctxErrKind(ctx.Err()); k == errClientGone {
+			return nil, errClientGone, "client went away while queued"
+		}
 		return nil, errDeadlineExceeded, "deadline expired while queued"
 	}
 	return func() {
@@ -322,11 +339,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statszBody is the /statsz response.
 type statszBody struct {
-	Pool     PoolStats                  `json:"pool"`
-	Inflight int                        `json:"inflight"`
-	Draining bool                       `json:"draining"`
+	Pool     PoolStats                 `json:"pool"`
+	Inflight int                       `json:"inflight"`
+	Draining bool                      `json:"draining"`
 	Latency  map[string]LatencySummary `json:"latency_ns"`
-	Counters map[string]int64           `json:"counters,omitempty"`
+	Counters map[string]int64          `json:"counters,omitempty"`
 }
 
 // handleStatsz reports pool, admission, and latency statistics.
@@ -427,13 +444,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-// ctxErrKind maps a context error to the envelope taxonomy.
+// ctxErrKind maps a context error to the envelope taxonomy: a deadline
+// is the server's own timeout (504), while Canceled means the client
+// went away — its own client_gone kind, so disconnects never skew the
+// deadline_exceeded counters.
 func ctxErrKind(err error) (errKind, bool) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return errDeadlineExceeded, true
 	case errors.Is(err, context.Canceled):
-		return errDeadlineExceeded, true
+		return errClientGone, true
 	}
 	return "", false
 }

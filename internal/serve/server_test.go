@@ -542,6 +542,98 @@ func TestAlignPanicInjection(t *testing.T) {
 	}
 }
 
+// TestEstimatePanicTyped500AndDiscard covers the estimate-side panic
+// path: the typed internal_panic envelope (with its scan-order
+// fallback) must actually reach the client — the recover must not
+// dereference the lease after Discard, which panics by design — the
+// poisoned session must be discarded, and the next request must match
+// a fresh server byte for byte.
+func TestEstimatePanicTyped500AndDiscard(t *testing.T) {
+	armed := true
+	srv := NewServer(Config{estimateHook: func() {
+		if armed {
+			armed = false
+			panic("injected estimate fault")
+		}
+	}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	status, _, data := post(t, ts.URL+"/v1/estimate", estimateBody(1, 3))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", status, data)
+	}
+	eb := decodeErrorBody(t, data)
+	if eb.Error.Kind != errInternalPanic {
+		t.Errorf("kind = %q, want %q", eb.Error.Kind, errInternalPanic)
+	}
+	if eb.Fallback == nil || eb.Fallback.Policy != "scan-order" || len(eb.Fallback.RXBeams) == 0 {
+		t.Fatalf("fallback = %+v, want scan-order policy with beams", eb.Fallback)
+	}
+	if got := srv.Pool().Stats().Discarded; got != 1 {
+		t.Errorf("discarded sessions = %d, want 1", got)
+	}
+
+	status, _, got := post(t, ts.URL+"/v1/estimate", estimateBody(1, 3))
+	if status != http.StatusOK {
+		t.Fatalf("post-panic request: status %d, body %s", status, got)
+	}
+	fresh := NewServer(Config{})
+	tsFresh := httptest.NewServer(fresh)
+	defer tsFresh.Close()
+	_, _, want := post(t, tsFresh.URL+"/v1/estimate", estimateBody(1, 3))
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-panic response differs from fresh server:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestClientDisconnectIsClientGone pins the taxonomy split between the
+// server's own timeout and a client hang-up: a canceled request context
+// (what net/http hands the handler when the client disconnects) must be
+// answered and counted as client_gone (499), never deadline_exceeded.
+// The handler is driven directly so the cancellation is observed
+// deterministically: cancel() happens before the gate opens, and scan
+// with budget 4 re-checks ctx before every measurement.
+func TestClientDisconnectIsClientGone(t *testing.T) {
+	gate := newBlockingGate()
+	srv := NewServer(Config{WrapProber: gate.wrap})
+
+	body, err := json.Marshal(map[string]any{
+		"scheme": "scan", "budget": 4, "seed": int64(1),
+		"tx_panel_x": 2, "tx_panel_z": 1, "tx_beams_az": 2, "tx_beams_el": 1,
+		"rx_panel_x": 2, "rx_panel_z": 1, "rx_beams_az": 2, "rx_beams_el": 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-gate.started
+		cancel() // the client hangs up while the first measurement is gated
+		close(gate.gate)
+	}()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/align", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+
+	if rr.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d; body %s", rr.Code, statusClientClosedRequest, rr.Body.Bytes())
+	}
+	if kind := decodeErrorBody(t, rr.Body.Bytes()).Error.Kind; kind != errClientGone {
+		t.Errorf("kind = %q, want %q", kind, errClientGone)
+	}
+	if n := srv.Recorder().Counter("serve_errors_client_gone").Value(); n != 1 {
+		t.Errorf("client_gone counter = %d, want 1", n)
+	}
+	if n := srv.Recorder().Counter("serve_errors_deadline_exceeded").Value(); n != 0 {
+		t.Errorf("deadline_exceeded = %d, want 0: a disconnect is not a timeout", n)
+	}
+}
+
 func TestAlignDeterministicForSeed(t *testing.T) {
 	srv := NewServer(Config{})
 	ts := httptest.NewServer(srv)
@@ -575,6 +667,12 @@ func TestBadRequests(t *testing.T) {
 		{"zero budget", "/v1/align", `{"budget": 0}`},
 		{"unknown scheme", "/v1/align", `{"budget": 4, "scheme": "nope"}`},
 		{"unknown channel", "/v1/align", `{"budget": 4, "channel": "nope"}`},
+		{"negative tx panel", "/v1/align", `{"budget": 4, "tx_panel_x": -1}`},
+		{"negative rx panel", "/v1/align", `{"budget": 4, "rx_panel_z": -8}`},
+		{"negative tx beams", "/v1/align", `{"budget": 4, "tx_beams_el": -2}`},
+		{"negative rx beams", "/v1/align", `{"budget": 4, "rx_beams_az": -4}`},
+		{"negative snapshots", "/v1/align", `{"budget": 4, "snapshots": -2}`},
+		{"negative estimate panel", "/v1/estimate", `{"panel_x": -4, "observations": [{"beam": 0, "energy": 1}]}`},
 	}
 	for _, tc := range cases {
 		status, _, data := post(t, ts.URL+tc.url, []byte(tc.body))
