@@ -12,7 +12,8 @@
 //
 //	POST /v1/estimate  covariance estimation + beam ranking from energies
 //	POST /v1/align     full simulated alignment run (seeded, deterministic)
-//	GET  /healthz      liveness (503 while draining)
+//	GET  /healthz      liveness (always 200 while the process serves)
+//	GET  /readyz       readiness (503 from the moment draining begins)
 //	GET  /statsz       pool, admission, and latency statistics
 //	GET  /debug/vars   expvar, including the server telemetry recorder
 package main

@@ -10,6 +10,9 @@
 //	figgen -fig 6 -drops 500 -checkpoint fig6.journal       # long run, crash-safe
 //	figgen -fig 6 -drops 500 -checkpoint fig6.journal -resume
 //	figgen -checkpoint-inspect fig6.journal                 # is a resume safe?
+//	figgen -fig 6 -drops 500 -shard-dir sweep -worker-id w1 # one of N processes
+//	figgen -fig 6 -drops 500 -shard-dir sweep -merge        # fold + finish
+//	figgen -checkpoint-inspect sweep                        # shard-dir progress
 //
 // With -checkpoint, every completed (drop, scheme) cell is fsynced to
 // an append-only journal; Ctrl-C (or SIGTERM) cancels the workers
@@ -17,6 +20,15 @@
 // invocation. A resumed run skips the journaled cells and produces
 // byte-identical CSVs to an uninterrupted run; the journal refuses to
 // resume across a changed configuration (canonical config-hash check).
+//
+// With -shard-dir, several figgen processes — typically on different
+// machines sharing a directory — split one figure's (drop, scheme)
+// grid between them: each -worker-id process claims cells through
+// crash-tolerant lease files and journals its results, and cells held
+// by a worker that died (lease heartbeat older than -lease-ttl) are
+// stolen and recomputed by the survivors. A final -merge invocation
+// folds the worker journals into one checkpoint and generates the
+// figure from it, byte-identical to a single-process run.
 //
 // The output CSV has one row per sweep point and one column per scheme;
 // the same data is printed as an aligned table and an ASCII plot on
@@ -37,6 +49,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -49,6 +62,7 @@ import (
 	"mmwalign/internal/meas"
 	"mmwalign/internal/metrics"
 	"mmwalign/internal/obs"
+	"mmwalign/internal/shard"
 )
 
 func main() {
@@ -88,7 +102,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume     = fs.Bool("resume", false, "resume from the -checkpoint journal, skipping already-completed cells (refused if the configuration changed)")
 		retries    = fs.Int("retries", 0, "re-run a failed (drop, scheme) cell up to N times before it consumes the -max-failed-drops budget")
 		retryWait  = fs.Duration("retry-backoff", 0, "delay before the first retry of a cell, doubling per attempt (capped)")
-		inspect    = fs.String("checkpoint-inspect", "", "print a journal's header, completed-cell count and pending cells, then exit")
+		inspect    = fs.String("checkpoint-inspect", "", "print a journal's header, completed-cell count and pending cells, then exit (also accepts a -shard-dir)")
+		shardDir   = fs.String("shard-dir", "", "shared directory for a multi-process sharded sweep (use with -worker-id or -merge)")
+		workerID   = fs.String("worker-id", "", "compute this process's share of the -shard-dir sweep under the given worker ID")
+		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "shard lease heartbeat TTL: a cell whose lease is staler than this is stolen from its (presumed dead) worker")
+		merge      = fs.Bool("merge", false, "fold the -shard-dir worker journals into one checkpoint and generate the figure from it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +136,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint <path>")
 	}
+	switch {
+	case *workerID != "" && *merge:
+		return fmt.Errorf("pass -worker-id to compute a share or -merge to fold the results, not both")
+	case (*workerID != "" || *merge) && *shardDir == "":
+		return fmt.Errorf("-worker-id and -merge need -shard-dir <dir>")
+	case *shardDir != "" && *workerID == "" && !*merge:
+		return fmt.Errorf("-shard-dir needs -worker-id (compute a share) or -merge (fold the results)")
+	}
+	if *shardDir != "" {
+		if *all {
+			return fmt.Errorf("sharded sweeps are per figure: pass -fig, not -all")
+		}
+		if *checkpoint != "" || *resume {
+			return fmt.Errorf("-shard-dir replaces -checkpoint/-resume: workers journal into the shard directory")
+		}
+	}
 
 	cfg := experiment.Config{
 		Seed:           *seed,
@@ -141,6 +175,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cfg.WrapSounder = wrap
+	}
+
+	if *workerID != "" {
+		// Worker mode computes cells and exits; figure generation belongs
+		// to the -merge invocation once the grid is (mostly) done.
+		w := &shard.Worker{Dir: *shardDir, ID: *workerID, Figure: *fig, Config: cfg, TTL: *leaseTTL, Log: stderr}
+		sum, err := w.Run(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "worker %s: %d cells computed (%d stolen from dead workers, %d resumed from own journal, %d failed), grid complete: %v\n",
+			sum.Worker, sum.ComputedCells, sum.StolenCells, sum.ResumedCells, sum.FailedCells, sum.Complete)
+		return nil
 	}
 
 	if *pprofPfx != "" {
@@ -189,6 +236,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 
 		fcfg := cfg
+		var shardSummary *obs.ShardSummary
+		if *merge {
+			res, err := shard.Merge(*shardDir, f, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "figgen: merged %d of %d cells from %d worker journals (%d duplicates, %d stolen)\n",
+				res.Summary.MergedCells, res.Summary.TotalCells, len(res.Summary.Workers),
+				res.Summary.DuplicateCells, res.Summary.StolenCells)
+			// The merged journal is a plain checkpoint: the figure run
+			// resume-skips every merged cell and computes whatever a
+			// still-incomplete grid is missing, so the aggregation path is
+			// the single-process one.
+			want, err := experiment.JournalHeader(f, cfg)
+			if err != nil {
+				return err
+			}
+			jnl, err := journal.Open(res.JournalPath, want)
+			if err != nil {
+				return fmt.Errorf("open merged journal: %w", err)
+			}
+			defer jnl.Close()
+			fcfg.Journal = jnl
+			shardSummary = res.Summary
+		}
 		var jpath string
 		if *checkpoint != "" {
 			jpath = *checkpoint
@@ -215,6 +287,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 					f, *drops, *seed, jpath)
 			}
 			return err
+		}
+		if shardSummary != nil && result.Manifest != nil {
+			result.Manifest.Shard = shardSummary
 		}
 		fmt.Fprintf(stdout, "== %s (%s) — %d drops, %v ==\n", result.ID, result.Title, *drops, time.Since(start).Round(time.Millisecond))
 		if result.Failures != nil {
@@ -337,6 +412,9 @@ func openJournal(path string, fig int, cfg experiment.Config, resume bool, stder
 // pending cells — the pre-flight check for deciding whether a resume
 // is safe (and how much work it will save).
 func inspectCheckpoint(path string, stdout io.Writer) error {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return inspectShardDir(path, stdout)
+	}
 	h, done, torn, err := journal.Inspect(path)
 	if err != nil {
 		return fmt.Errorf("checkpoint-inspect: %w", err)
@@ -354,13 +432,24 @@ func inspectCheckpoint(path string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "seed:         %d\n", h.Seed)
 	fmt.Fprintf(stdout, "shape:        %d drops × %d schemes (%s)\n", h.Drops, len(h.Schemes), strings.Join(h.Schemes, ","))
 	total := h.Drops * len(h.Schemes)
-	fmt.Fprintf(stdout, "completed:    %d of %d cells\n", len(done), total)
+	records := 0
+	completed := make(map[journal.CellKey]bool, len(done))
+	var reruns []string
+	for _, st := range done {
+		completed[st.CellKey] = true
+		records += st.Records
+		if st.Records > 1 {
+			reruns = append(reruns, fmt.Sprintf("%d/%s×%d", st.Drop, st.Scheme, st.Records))
+		}
+	}
+	fmt.Fprintf(stdout, "completed:    %d of %d cells (%d records)\n", len(done), total, records)
+	if len(reruns) > 0 {
+		// A cell with more than one record was re-run — a resumed retry
+		// or a stolen shard lease — and resolved last-write-wins.
+		fmt.Fprintf(stdout, "re-run cells: %s\n", joinCapped(reruns, 16))
+	}
 	if torn {
 		fmt.Fprintf(stdout, "torn tail:    yes (last record was cut mid-write; resume will truncate and re-run that cell)\n")
-	}
-	completed := make(map[journal.CellKey]bool, len(done))
-	for _, k := range done {
-		completed[k] = true
 	}
 	var pending []string
 	for drop := 0; drop < h.Drops; drop++ {
@@ -374,15 +463,85 @@ func inspectCheckpoint(path string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "pending:      none — a resume replays entirely from the journal\n")
 		return nil
 	}
-	const show = 16
-	list := pending
-	suffix := ""
-	if len(list) > show {
-		list = list[:show]
-		suffix = fmt.Sprintf(" … and %d more", len(pending)-show)
-	}
-	fmt.Fprintf(stdout, "pending:      %d cells: %s%s\n", len(pending), strings.Join(list, " "), suffix)
+	fmt.Fprintf(stdout, "pending:      %d cells: %s\n", len(pending), joinCapped(pending, 16))
 	return nil
+}
+
+// inspectShardDir prints a sharded sweep's progress: the directory
+// header, each worker journal's tally, and the distinct-cell total —
+// the pre-flight check for whether a -merge will produce a complete
+// figure. Because it prints the config hash and per-cell record
+// counts, running it against two shard directories is how you diff
+// them: same hash means the cells are interchangeable, and a cell
+// with more than one record was stolen or re-run.
+func inspectShardDir(dir string, stdout io.Writer) error {
+	hdr, err := shard.ReadDirHeader(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint-inspect: %w", err)
+	}
+	fmt.Fprintf(stdout, "shard dir:    %s\n", dir)
+	fmt.Fprintf(stdout, "schema:       %s\n", hdr.Schema)
+	fmt.Fprintf(stdout, "figure:       %s\n", hdr.Figure)
+	fmt.Fprintf(stdout, "config hash:  %s\n", hdr.ConfigHash)
+	fmt.Fprintf(stdout, "seed:         %d\n", hdr.Seed)
+	fmt.Fprintf(stdout, "shape:        %d drops × %d schemes (%s)\n", hdr.Drops, len(hdr.Schemes), strings.Join(hdr.Schemes, ","))
+	paths, err := filepath.Glob(filepath.Join(dir, "journals", "*.journal"))
+	if err != nil {
+		return fmt.Errorf("checkpoint-inspect: %w", err)
+	}
+	sort.Strings(paths)
+	records := make(map[journal.CellKey]int)
+	for _, p := range paths {
+		_, stats, torn, err := journal.Inspect(p)
+		if err != nil {
+			return fmt.Errorf("checkpoint-inspect: %s: %v", p, err)
+		}
+		n := 0
+		for _, st := range stats {
+			records[st.CellKey] += st.Records
+			n += st.Records
+		}
+		note := ""
+		if torn {
+			note = ", torn tail"
+		}
+		fmt.Fprintf(stdout, "worker:       %s — %d cells (%d records%s)\n",
+			strings.TrimSuffix(filepath.Base(p), ".journal"), len(stats), n, note)
+	}
+	total := hdr.Drops * len(hdr.Schemes)
+	var reruns, pending []string
+	for drop := 0; drop < hdr.Drops; drop++ {
+		for _, scheme := range hdr.Schemes {
+			switch n := records[journal.CellKey{Drop: drop, Scheme: scheme}]; {
+			case n == 0:
+				pending = append(pending, fmt.Sprintf("%d/%s", drop, scheme))
+			case n > 1:
+				reruns = append(reruns, fmt.Sprintf("%d/%s×%d", drop, scheme, n))
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "completed:    %d of %d cells\n", total-len(pending), total)
+	if len(reruns) > 0 {
+		// More than one record for a cell across the worker journals is
+		// the signature of a stolen lease (or a worker's own retry); the
+		// merge resolves it after verifying the payloads byte-identical.
+		fmt.Fprintf(stdout, "re-run cells: %s\n", joinCapped(reruns, 16))
+	}
+	if len(pending) == 0 {
+		fmt.Fprintf(stdout, "pending:      none — a -merge produces the complete figure\n")
+		return nil
+	}
+	fmt.Fprintf(stdout, "pending:      %d cells: %s\n", len(pending), joinCapped(pending, 16))
+	return nil
+}
+
+// joinCapped renders a list space-separated, eliding past the first
+// show entries.
+func joinCapped(list []string, show int) string {
+	if len(list) <= show {
+		return strings.Join(list, " ")
+	}
+	return fmt.Sprintf("%s … and %d more", strings.Join(list[:show], " "), len(list)-show)
 }
 
 // parseInjectSpec converts a "key=value,..." fault spec into a
@@ -391,11 +550,15 @@ func inspectCheckpoint(path string, stdout io.Writer) error {
 // stream; panic-drop=N panics on drop N's first measurement — the knob
 // the CI strict-mode smoke uses to produce a genuinely failed drop;
 // fail-attempts=N makes the first N attempts of every cell panic, the
-// transient fault that only a -retries budget survives.
+// transient fault that only a -retries budget survives;
+// kill-after-cells=N SIGKILLs the process on the (N+1)-th cell's first
+// measurement — the shard chaos harness's deterministic mid-cell
+// worker death.
 func parseInjectSpec(spec string) (func(drop int, scheme string, p meas.Prober) meas.Prober, error) {
 	var fcfg faultinject.Config
 	panicDrop := -1
 	failAttempts := 0
+	killAfter := -1
 	for _, kv := range splitComma(spec) {
 		key, val, ok := strings.Cut(kv, "=")
 		if !ok {
@@ -441,19 +604,31 @@ func parseInjectSpec(spec string) (func(drop int, scheme string, p meas.Prober) 
 				return nil, fmt.Errorf("inject: fail-attempts=%q is not a count", val)
 			}
 			failAttempts = n
+		case "kill-after-cells":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("inject: kill-after-cells=%q is not a count", val)
+			}
+			killAfter = n
 		default:
 			return nil, fmt.Errorf("inject: unknown key %q", key)
 		}
 	}
 	wrap := faultinject.Wrap(fcfg)
-	var transient func(drop int, scheme string, p meas.Prober) meas.Prober
+	var transient, killer func(drop int, scheme string, p meas.Prober) meas.Prober
 	if failAttempts > 0 {
 		transient = faultinject.WrapTransient(failAttempts, faultinject.TransientPanic)
+	}
+	if killAfter >= 0 {
+		killer = faultinject.WrapKillAfter(killAfter)
 	}
 	return func(drop int, scheme string, p meas.Prober) meas.Prober {
 		p = wrap(drop, scheme, p)
 		if transient != nil {
 			p = transient(drop, scheme, p)
+		}
+		if killer != nil {
+			p = killer(drop, scheme, p)
 		}
 		if drop == panicDrop {
 			return &panicProber{Prober: p}

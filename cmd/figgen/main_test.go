@@ -92,13 +92,15 @@ func TestInstrumentationIsByteIdentical(t *testing.T) {
 func TestParseInjectSpecRejectsMalformedSpecs(t *testing.T) {
 	for _, spec := range []string{
 		"nan", "nan=2", "nan=-0.1", "unknown=1", "panic-drop=x", "panic-drop=-1", "block-after=no", "seed=1.5",
-		"fail-attempts=x", "fail-attempts=-1",
+		"fail-attempts=x", "fail-attempts=-1", "kill-after-cells=x", "kill-after-cells=-1",
 	} {
 		if _, err := parseInjectSpec(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}
-	if _, err := parseInjectSpec("nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2,fail-attempts=1"); err != nil {
+	// kill-after-cells parses but is not invoked here: arming it is
+	// harmless, firing it would SIGKILL the test process.
+	if _, err := parseInjectSpec("nan=0.1,inf=0.05,outlier=0.1,drop=0.1,block-after=40,seed=9,panic-drop=2,fail-attempts=1,kill-after-cells=5"); err != nil {
 		t.Errorf("full valid spec rejected: %v", err)
 	}
 }
@@ -189,6 +191,108 @@ func TestResumeRequiresCheckpoint(t *testing.T) {
 	err := run([]string{"-fig", "5", "-resume"}, &sink, &sink)
 	if err == nil || !strings.Contains(err.Error(), "-resume requires -checkpoint") {
 		t.Errorf("-resume without -checkpoint returned %v", err)
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-fig", "5", "-shard-dir", "d"}, "-shard-dir needs"},
+		{[]string{"-fig", "5", "-worker-id", "w1"}, "need -shard-dir"},
+		{[]string{"-fig", "5", "-merge"}, "need -shard-dir"},
+		{[]string{"-fig", "5", "-shard-dir", "d", "-worker-id", "w1", "-merge"}, "not both"},
+		{[]string{"-all", "-shard-dir", "d", "-worker-id", "w1"}, "not -all"},
+		{[]string{"-fig", "5", "-shard-dir", "d", "-worker-id", "w1", "-checkpoint", "j"}, "replaces -checkpoint"},
+		{[]string{"-fig", "5", "-shard-dir", "d", "-merge", "-resume", "-checkpoint", "j"}, "replaces -checkpoint"},
+	} {
+		var sink bytes.Buffer
+		err := run(tc.args, &sink, &sink)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestShardWorkersMergeByteIdenticalCSV drives the sharded-sweep CLI
+// end to end in-process: two workers split a grid through the lease
+// protocol, -merge folds their journals and generates the figure, and
+// the CSV must match a single-process run byte for byte. The manifest
+// must carry the shard evidence and -checkpoint-inspect must read the
+// shard directory.
+func TestShardWorkersMergeByteIdenticalCSV(t *testing.T) {
+	dir := t.TempDir()
+	sdir := filepath.Join(dir, "sweep")
+	clean := filepath.Join(dir, "clean.csv")
+	merged := filepath.Join(dir, "merged.csv")
+	common := []string{"-fig", "5", "-drops", "3", "-schemes", "random,scan", "-progress=false"}
+	var sink bytes.Buffer
+
+	if err := run(append(common, "-out", clean, "-manifest=false"), &sink, &sink); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	for _, id := range []string{"w1", "w2"} {
+		var stdout bytes.Buffer
+		if err := run(append(common, "-shard-dir", sdir, "-worker-id", id), &stdout, &sink); err != nil {
+			t.Fatalf("worker %s: %v", id, err)
+		}
+		if !strings.Contains(stdout.String(), "worker "+id+":") || !strings.Contains(stdout.String(), "grid complete: true") {
+			t.Errorf("worker %s summary missing or incomplete:\n%s", id, stdout.String())
+		}
+	}
+
+	var stderr bytes.Buffer
+	if err := run(append(common, "-shard-dir", sdir, "-merge", "-out", merged), &sink, &stderr); err != nil {
+		t.Fatalf("merge: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "merged 6 of 6 cells from 2 worker journals") {
+		t.Errorf("merge did not announce its fold:\n%s", stderr.String())
+	}
+	a, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("merged CSV differs from single-process run:\n--- clean ---\n%s\n--- merged ---\n%s", a, b)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "merged.manifest.json"))
+	if err != nil {
+		t.Fatalf("merged manifest not written: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("merged manifest invalid: %v", err)
+	}
+	if m.Shard == nil || m.Shard.MergedCells != 6 || len(m.Shard.Workers) != 2 {
+		t.Fatalf("manifest shard evidence = %+v, want 6 merged cells from 2 workers", m.Shard)
+	}
+	for _, w := range m.Shard.Workers {
+		if !w.Reported {
+			t.Errorf("worker %s finished cleanly but is not marked reported", w.Worker)
+		}
+	}
+	// The merged journal satisfied every cell, so the figure run is pure
+	// replay.
+	if m.Resume == nil || m.Resume.SkippedCells != 6 {
+		t.Errorf("manifest resume evidence = %+v, want 6 skipped cells", m.Resume)
+	}
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-checkpoint-inspect", sdir}, &stdout, &sink); err != nil {
+		t.Fatalf("checkpoint-inspect of shard dir: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"shard dir:", "figure:       fig5", "config hash:", "worker:       w1", "worker:       w2", "completed:    6 of 6 cells", "pending:      none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shard-dir inspect output missing %q:\n%s", want, out)
+		}
 	}
 }
 

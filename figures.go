@@ -108,12 +108,14 @@ type RunManifest struct {
 	Phases   []RunPhase
 	Counters map[string]int64
 	Solver   RunSolverStats
-	// Resume and Retries carry the robustness evidence of the run:
-	// how many cells a checkpoint journal satisfied, and what the
-	// per-cell retry engine absorbed. Nil when the corresponding
-	// machinery was not engaged.
+	// Resume, Retries and Shard carry the robustness evidence of the
+	// run: how many cells a checkpoint journal satisfied, what the
+	// per-cell retry engine absorbed, and — for a figure merged from a
+	// multi-process sharded sweep — which worker computed what. Nil
+	// when the corresponding machinery was not engaged.
 	Resume  *RunResume
 	Retries *RunRetries
+	Shard   *RunShard
 
 	raw *obs.Manifest
 }
@@ -140,6 +142,39 @@ type RunRetries struct {
 	Attempts       int64
 	RecoveredCells int64
 	ExhaustedCells int64
+}
+
+// RunShard mirrors the manifest's sharded-sweep evidence: the figure
+// bytes are identical to a single-process run, so this is what records
+// that the run was sharded, what each worker contributed, and how many
+// cells were stolen from dead workers or duplicate-resolved.
+type RunShard struct {
+	// Dir is the shared shard directory.
+	Dir string
+	// MergedCells distinct cells were folded out of the worker journals
+	// (of TotalCells); DuplicateCells were recorded by more than one
+	// worker; StolenCells were reclaimed from stale leases.
+	TotalCells     int
+	MergedCells    int
+	DuplicateCells int
+	StolenCells    int
+	// Workers lists per-worker tallies, sorted by worker ID.
+	Workers []RunShardWorker
+}
+
+// RunShardWorker is one worker's contribution to a sharded run.
+type RunShardWorker struct {
+	// Worker is the worker ID.
+	Worker string
+	// JournaledCells is what the worker's journal holds; ComputedCells,
+	// StolenCells and FailedCells are its self-reported tallies.
+	JournaledCells int
+	ComputedCells  int
+	StolenCells    int
+	FailedCells    int
+	// Reported is false when the worker never wrote its final summary —
+	// the signature of a killed worker.
+	Reported bool
 }
 
 // WriteJSON writes the manifest in its canonical schema-validated JSON
@@ -186,6 +221,18 @@ func newRunManifest(src *obs.Manifest) *RunManifest {
 			Attempts:       src.Retries.Attempts,
 			RecoveredCells: src.Retries.RecoveredCells,
 			ExhaustedCells: src.Retries.ExhaustedCells,
+		}
+	}
+	if src.Shard != nil {
+		m.Shard = &RunShard{
+			Dir:            src.Shard.Dir,
+			TotalCells:     src.Shard.TotalCells,
+			MergedCells:    src.Shard.MergedCells,
+			DuplicateCells: src.Shard.DuplicateCells,
+			StolenCells:    src.Shard.StolenCells,
+		}
+		for _, w := range src.Shard.Workers {
+			m.Shard.Workers = append(m.Shard.Workers, RunShardWorker(w))
 		}
 	}
 	if len(src.Counters) > 0 {

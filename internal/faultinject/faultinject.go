@@ -15,7 +15,9 @@ package faultinject
 import (
 	"fmt"
 	"math"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"mmwalign/internal/cmat"
 	"mmwalign/internal/covest"
@@ -210,6 +212,59 @@ func (t *transientProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Mea
 		m.Energy = math.NaN()
 		return m
 	}
+}
+
+// WrapKillAfter returns a Config.WrapSounder hook that SIGKILLs the
+// current process on the first measurement of the (cells+1)-th cell it
+// sees — the shard chaos harness's deterministic mid-cell worker
+// death. Unlike TransientPanic, nothing is recovered: the process dies
+// exactly as a real OOM-kill or `kill -9` would, leaving a claimed
+// lease with no journal record behind, which is the state the shard
+// engine's stale-lease stealing exists to clean up.
+//
+// Cell counting is by hook invocation (the experiment engine invokes
+// WrapSounder once per cell attempt), atomically, so the kill lands on
+// a deterministic cell ordinal even under concurrent workers — though
+// which (drop, scheme) that ordinal maps to depends on the schedule,
+// which is fine: the chaos jobs assert on recovery, not on which cell
+// died.
+func WrapKillAfter(cells int) func(drop int, scheme string, p meas.Prober) meas.Prober {
+	return wrapKillAfter(cells, func() {
+		// os.Process.Kill delivers SIGKILL on unix: no deferred
+		// functions, no journal flush, no lease release.
+		proc, err := os.FindProcess(os.Getpid())
+		if err == nil {
+			proc.Kill()
+		}
+		// Nothing to do if the kill fails: the wrapped measurement
+		// proceeds and the chaos job's wait-for-death times out loudly.
+	})
+}
+
+// wrapKillAfter is WrapKillAfter with the kill action injectable for
+// tests that must survive their own assertions.
+func wrapKillAfter(cells int, kill func()) func(drop int, scheme string, p meas.Prober) meas.Prober {
+	var seen atomic.Int64
+	return func(drop int, scheme string, p meas.Prober) meas.Prober {
+		if seen.Add(1) <= int64(cells) {
+			return p
+		}
+		return &killProber{Prober: p, kill: kill}
+	}
+}
+
+// killProber kills the process on its first measurement — mid-cell,
+// after the lease claim, before any journal record.
+type killProber struct {
+	meas.Prober
+	kill func()
+	once sync.Once
+}
+
+// Measure implements meas.Prober.
+func (k *killProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	k.once.Do(k.kill)
+	return k.Prober.Measure(txBeam, rxBeam, u, v)
 }
 
 // DivergentOptions returns estimator options engineered to stress the

@@ -179,3 +179,47 @@ func TestFaultInjectDelegatesMetadata(t *testing.T) {
 		t.Errorf("Count = %d, want inner %d", s.Count(), inner.count)
 	}
 }
+
+func TestWrapKillAfterKillsOnTheRightCell(t *testing.T) {
+	killed := 0
+	wrap := wrapKillAfter(2, func() { killed++ })
+
+	// Cells 1 and 2 pass through untouched — not even wrapped.
+	for i := 0; i < 2; i++ {
+		p := wrap(i, "random", &stubProber{})
+		if _, isKill := p.(*killProber); isKill {
+			t.Fatalf("cell %d wrapped with the kill prober before the threshold", i+1)
+		}
+		p.Measure(0, 0, nil, nil)
+		if killed != 0 {
+			t.Fatalf("killed during cell %d", i+1)
+		}
+	}
+
+	// Cell 3 dies on its first measurement, exactly once.
+	p := wrap(2, "random", &stubProber{})
+	p.Measure(0, 0, nil, nil)
+	if killed != 1 {
+		t.Fatalf("kill fired %d times on cell 3, want 1", killed)
+	}
+	p.Measure(0, 0, nil, nil)
+	if killed != 1 {
+		t.Fatalf("kill re-fired on a later measurement: %d", killed)
+	}
+
+	// Later cells are also kill-wrapped (the process would already be
+	// dead); each has its own once.
+	p2 := wrap(3, "proposed", &stubProber{})
+	p2.Measure(0, 0, nil, nil)
+	if killed != 2 {
+		t.Fatalf("cell 4 did not arm its own kill: %d", killed)
+	}
+}
+
+func TestWrapKillAfterMetadataDelegates(t *testing.T) {
+	wrap := wrapKillAfter(0, func() {})
+	p := wrap(0, "random", &stubProber{snapshots: 7})
+	if p.Snapshots() != 7 || p.Gamma() != 1 {
+		t.Error("kill prober does not delegate metadata")
+	}
+}

@@ -148,12 +148,13 @@ func (e *CorruptError) Error() string {
 // an append handle for recording new ones. All methods are safe for
 // concurrent use by the experiment engine's drop workers.
 type Journal struct {
-	mu     sync.Mutex
-	f      *os.File
-	path   string
-	header Header
-	cells  map[CellKey]json.RawMessage
-	closed bool
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	header  Header
+	cells   map[CellKey]json.RawMessage
+	closed  bool
+	release func() // owner lock release; nil after Close
 }
 
 // crcTable is the IEEE polynomial every record checksum uses.
@@ -173,78 +174,111 @@ func encodeLine(rec record) ([]byte, error) {
 }
 
 // Create starts a fresh journal at path (truncating any existing
-// file), writes the header record, and syncs it to disk.
+// file), writes the header record, and syncs it to disk. The journal's
+// owner lock is acquired first: a second process holding the same path
+// open gets *LockedError instead of truncating a live journal.
 func Create(path string, h Header) (*Journal, error) {
 	h.Schema = Schema
+	release, err := acquireOwnerLock(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		release()
 		return nil, fmt.Errorf("journal: create %s: %w", path, err)
 	}
-	j := &Journal{f: f, path: path, header: h, cells: make(map[CellKey]json.RawMessage)}
+	j := &Journal{f: f, path: path, header: h, cells: make(map[CellKey]json.RawMessage), release: release}
 	line, err := encodeLine(record{Kind: "header", Header: &h})
 	if err != nil {
 		f.Close()
+		release()
 		return nil, err
 	}
 	if _, err := f.Write(line); err != nil {
 		f.Close()
+		release()
 		return nil, fmt.Errorf("journal: writing header: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		release()
 		return nil, fmt.Errorf("journal: syncing header: %w", err)
 	}
 	return j, nil
 }
 
-// Open loads an existing journal for resumption. The on-disk header
-// must match want on schema, figure, and config hash (*MismatchError
+// Open loads an existing journal for resumption. The journal's owner
+// lock is acquired first (*LockedError when another live process holds
+// it; a dead holder's lock is taken over). The on-disk header must
+// match want on schema, figure, and config hash (*MismatchError
 // otherwise); completed cells are loaded last-write-wins; a torn final
 // line is truncated away so the journal is immediately appendable. Any
 // interior corruption surfaces as *ChecksumError or *CorruptError.
 func Open(path string, want Header) (*Journal, error) {
+	release, err := acquireOwnerLock(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
+		release()
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
-	h, cells, goodEnd, err := readAll(f)
+	h, cells, _, goodEnd, err := readAll(f)
 	if err != nil {
 		f.Close()
+		release()
 		return nil, err
 	}
 	if h.Figure != want.Figure {
 		f.Close()
+		release()
 		return nil, &MismatchError{Field: "figure", Want: want.Figure, Got: h.Figure}
 	}
 	if h.ConfigHash != want.ConfigHash {
 		f.Close()
+		release()
 		return nil, &MismatchError{Field: "config_hash", Want: want.ConfigHash, Got: h.ConfigHash}
 	}
 	// Drop the torn tail (if any) so appended records start on a clean
 	// line boundary.
 	if err := f.Truncate(goodEnd); err != nil {
 		f.Close()
+		release()
 		return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
+		release()
 		return nil, fmt.Errorf("journal: seeking %s: %w", path, err)
 	}
-	return &Journal{f: f, path: path, header: *h, cells: cells}, nil
+	return &Journal{f: f, path: path, header: *h, cells: cells, release: release}, nil
+}
+
+// CellStat describes one completed cell as seen by Inspect: its key
+// plus how many records the journal holds for it (more than one means
+// the cell was re-run — a resumed retry or a stolen shard lease — and
+// resolved last-write-wins).
+type CellStat struct {
+	CellKey
+	// Records is the number of journal lines recorded for this cell.
+	Records int
 }
 
 // Inspect reads a journal without a configuration to validate against:
-// the header, the completed cell keys (sorted drop-major), and whether
-// a torn tail was dropped. Used by the checkpoint-inspect tooling to
-// decide whether a resume is safe before committing to one. The file
-// is not modified.
-func Inspect(path string) (Header, []CellKey, bool, error) {
+// the header, the completed cells with their record counts (sorted
+// drop-major), and whether a torn tail was dropped. Used by the
+// checkpoint-inspect tooling to decide whether a resume is safe before
+// committing to one. The file is not modified and the owner lock is
+// not taken, so a live run can be inspected.
+func Inspect(path string) (Header, []CellStat, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Header{}, nil, false, fmt.Errorf("journal: open %s: %w", path, err)
 	}
 	defer f.Close()
-	h, cells, goodEnd, err := readAll(f)
+	h, cells, counts, goodEnd, err := readAll(f)
 	if err != nil {
 		return Header{}, nil, false, err
 	}
@@ -252,32 +286,56 @@ func Inspect(path string) (Header, []CellKey, bool, error) {
 	if err != nil {
 		return Header{}, nil, false, fmt.Errorf("journal: sizing %s: %w", path, err)
 	}
-	keys := make([]CellKey, 0, len(cells))
+	stats := make([]CellStat, 0, len(cells))
 	for k := range cells {
-		keys = append(keys, k)
+		stats = append(stats, CellStat{CellKey: k, Records: counts[k]})
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Drop != keys[j].Drop {
-			return keys[i].Drop < keys[j].Drop
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Drop != stats[j].Drop {
+			return stats[i].Drop < stats[j].Drop
 		}
-		return keys[i].Scheme < keys[j].Scheme
+		return stats[i].Scheme < stats[j].Scheme
 	})
-	return *h, keys, goodEnd < size, nil
+	return *h, stats, goodEnd < size, nil
+}
+
+// Load reads a journal's header and completed cells without taking the
+// owner lock or modifying the file — the shard merge step's read path,
+// safe to run against a worker journal whose owner is still alive. The
+// returned map resolves duplicates last-write-wins; torn reports
+// whether a torn final line was skipped.
+func Load(path string) (Header, map[CellKey]json.RawMessage, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, false, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	h, cells, _, goodEnd, err := readAll(f)
+	if err != nil {
+		return Header{}, nil, false, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return Header{}, nil, false, fmt.Errorf("journal: sizing %s: %w", path, err)
+	}
+	return *h, cells, goodEnd < size, nil
 }
 
 // readAll parses the journal from the start of r: header, cells
-// (last-write-wins), and the byte offset just past the last intact
-// record. A torn final line — no trailing newline, or a final line
-// whose CRC or JSON does not check out — is tolerated by reporting a
-// goodEnd before it; every interior defect is a typed error.
-func readAll(r io.ReadSeeker) (*Header, map[CellKey]json.RawMessage, int64, error) {
+// (last-write-wins) with per-cell record counts, and the byte offset
+// just past the last intact record. A torn final line — no trailing
+// newline, or a final line whose CRC or JSON does not check out — is
+// tolerated by reporting a goodEnd before it; every interior defect is
+// a typed error.
+func readAll(r io.ReadSeeker) (*Header, map[CellKey]json.RawMessage, map[CellKey]int, int64, error) {
 	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return nil, nil, 0, fmt.Errorf("journal: seeking start: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("journal: seeking start: %w", err)
 	}
 	br := bufio.NewReader(r)
 	var (
 		header  *Header
 		cells   = make(map[CellKey]json.RawMessage)
+		counts  = make(map[CellKey]int)
 		goodEnd int64
 		lineNo  int
 	)
@@ -291,7 +349,7 @@ func readAll(r io.ReadSeeker) (*Header, map[CellKey]json.RawMessage, int64, erro
 			}
 			torn = true // no trailing newline: a crash mid-write
 		} else if err != nil {
-			return nil, nil, 0, fmt.Errorf("journal: reading line %d: %w", lineNo, err)
+			return nil, nil, nil, 0, fmt.Errorf("journal: reading line %d: %w", lineNo, err)
 		}
 		rec, perr := parseLine(line, lineNo)
 		if perr != nil {
@@ -307,7 +365,7 @@ func readAll(r io.ReadSeeker) (*Header, map[CellKey]json.RawMessage, int64, erro
 			if _, peekErr := br.Peek(1); peekErr == io.EOF {
 				break
 			}
-			return nil, nil, 0, perr
+			return nil, nil, nil, 0, perr
 		}
 		if torn {
 			// Even a record that parses and checksums but lacks its
@@ -319,40 +377,42 @@ func readAll(r io.ReadSeeker) (*Header, map[CellKey]json.RawMessage, int64, erro
 		switch rec.Kind {
 		case "header":
 			if header != nil {
-				return nil, nil, 0, &CorruptError{Line: lineNo, Reason: "duplicate header record"}
+				return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: "duplicate header record"}
 			}
 			if lineNo != 1 {
-				return nil, nil, 0, &CorruptError{Line: lineNo, Reason: "header record after cell records"}
+				return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: "header record after cell records"}
 			}
 			if rec.Header == nil {
-				return nil, nil, 0, &CorruptError{Line: lineNo, Reason: "header record without header body"}
+				return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: "header record without header body"}
 			}
 			if rec.Header.Schema != Schema {
-				return nil, nil, 0, &MismatchError{Field: "schema", Want: Schema, Got: rec.Header.Schema}
+				return nil, nil, nil, 0, &MismatchError{Field: "schema", Want: Schema, Got: rec.Header.Schema}
 			}
 			header = rec.Header
 		case "cell":
 			if header == nil {
-				return nil, nil, 0, &CorruptError{Line: lineNo, Reason: "cell record before header"}
+				return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: "cell record before header"}
 			}
 			if rec.Cell == nil {
-				return nil, nil, 0, &CorruptError{Line: lineNo, Reason: "cell record without cell body"}
+				return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: "cell record without cell body"}
 			}
 			if rec.Cell.Drop < 0 || rec.Cell.Scheme == "" {
-				return nil, nil, 0, &CorruptError{Line: lineNo, Reason: "cell record with invalid coordinates"}
+				return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: "cell record with invalid coordinates"}
 			}
 			// Last-write-wins: a later record for the same cell
 			// supersedes the earlier one, deterministically (file order).
-			cells[CellKey{Drop: rec.Cell.Drop, Scheme: rec.Cell.Scheme}] = rec.Cell.Payload
+			key := CellKey{Drop: rec.Cell.Drop, Scheme: rec.Cell.Scheme}
+			cells[key] = rec.Cell.Payload
+			counts[key]++
 		default:
-			return nil, nil, 0, &CorruptError{Line: lineNo, Reason: fmt.Sprintf("unknown record kind %q", rec.Kind)}
+			return nil, nil, nil, 0, &CorruptError{Line: lineNo, Reason: fmt.Sprintf("unknown record kind %q", rec.Kind)}
 		}
 		goodEnd += int64(len(line))
 	}
 	if header == nil {
-		return nil, nil, 0, &CorruptError{Reason: "no header record (empty or torn-at-birth journal)"}
+		return nil, nil, nil, 0, &CorruptError{Reason: "no header record (empty or torn-at-birth journal)"}
 	}
-	return header, cells, goodEnd, nil
+	return header, cells, counts, goodEnd, nil
 }
 
 // parseLine validates one "crc32hex SP json" line.
@@ -430,8 +490,10 @@ func (j *Journal) Record(drop int, scheme string, payload json.RawMessage) error
 	return nil
 }
 
-// Close releases the file handle. Records are already durable (each
-// Record fsyncs), so Close never loses data; it is idempotent.
+// Close releases the file handle and the owner lock. Records are
+// already durable (each Record fsyncs), so Close never loses data; it
+// is idempotent (the lock is released exactly once, so a double Close
+// cannot delete a successor's lock).
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -439,5 +501,10 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	return j.f.Close()
+	err := j.f.Close()
+	if j.release != nil {
+		j.release()
+		j.release = nil
+	}
+	return err
 }

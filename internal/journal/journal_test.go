@@ -279,6 +279,7 @@ func TestInspect(t *testing.T) {
 	j := mustCreate(t, path, testHeader())
 	j.Record(1, "proposed", json.RawMessage(`{}`))
 	j.Record(0, "random", json.RawMessage(`{}`))
+	j.Record(1, "proposed", json.RawMessage(`{"rerun":true}`)) // duplicate: counted, resolved last-write-wins
 	j.Close()
 
 	h, cells, torn, err := Inspect(path)
@@ -291,8 +292,11 @@ func TestInspect(t *testing.T) {
 	if h.Figure != "fig5" || h.Drops != 3 {
 		t.Errorf("inspect header = %+v", h)
 	}
-	// Keys come back sorted drop-major.
-	want := []CellKey{{0, "random"}, {1, "proposed"}}
+	// Stats come back sorted drop-major, carrying record counts.
+	want := []CellStat{
+		{CellKey: CellKey{0, "random"}, Records: 1},
+		{CellKey: CellKey{1, "proposed"}, Records: 2},
+	}
 	if len(cells) != 2 || cells[0] != want[0] || cells[1] != want[1] {
 		t.Errorf("inspect cells = %v, want %v", cells, want)
 	}

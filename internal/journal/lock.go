@@ -1,0 +1,121 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync/atomic"
+	"syscall"
+)
+
+// LockedError reports a journal whose owner lock is held by another
+// live process: appending from two processes would interleave records
+// inside fsync batches and corrupt the file, so the second opener is
+// refused with the holder's identity instead of silently sharing the
+// append handle.
+type LockedError struct {
+	// Path is the journal path the lock protects.
+	Path string
+	// HolderPID is the process currently holding the lock.
+	HolderPID int
+	// HolderHost is the hostname recorded by the holder (empty in locks
+	// written by engines that predate the field).
+	HolderHost string
+}
+
+// Error implements error.
+func (e *LockedError) Error() string {
+	host := e.HolderHost
+	if host == "" {
+		host = "unknown host"
+	}
+	return fmt.Sprintf("journal: %s is owned by pid %d on %s — a journal accepts appends from one process at a time (stale locks of dead processes are taken over automatically)", e.Path, e.HolderPID, host)
+}
+
+// lockInfo is the content of an owner lock file.
+type lockInfo struct {
+	PID  int    `json:"pid"`
+	Host string `json:"host,omitempty"`
+}
+
+// lockPath returns the owner lock-file path for a journal.
+func lockPath(path string) string { return path + ".lock" }
+
+// pidAlive reports whether a process with the given PID exists on this
+// host. EPERM means "exists but not ours", which is alive.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// acquireOwnerLock takes the advisory single-writer lock for the
+// journal at path. The lock is a sibling file created atomically
+// (write-temp-then-link, so a reader never sees a torn lock) holding
+// the owner's PID and host. A lock whose holder is provably gone — a
+// dead PID on the same host — is stale and taken over; a live holder
+// yields *LockedError.
+var lockTmpSeq atomic.Int64
+
+func acquireOwnerLock(path string) (release func(), err error) {
+	lp := lockPath(path)
+	host, _ := os.Hostname()
+	data, err := json.Marshal(lockInfo{PID: os.Getpid(), Host: host})
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding owner lock: %w", err)
+	}
+	// The sequence suffix keeps temp names unique when two goroutines in
+	// one process race for locks (PID alone would collide and let one
+	// unlink the temp out from under the other).
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", lp, os.Getpid(), lockTmpSeq.Add(1))
+	// Two takeover attempts bound the loop: the first EEXIST may be a
+	// stale lock we remove; a second EEXIST means a live contender won
+	// the re-acquisition race and holds a fresh lock.
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return nil, fmt.Errorf("journal: writing owner lock: %w", err)
+		}
+		linkErr := os.Link(tmp, lp)
+		os.Remove(tmp)
+		if linkErr == nil {
+			return func() { os.Remove(lp) }, nil
+		}
+		if !errors.Is(linkErr, fs.ErrExist) {
+			return nil, fmt.Errorf("journal: acquiring owner lock %s: %w", lp, linkErr)
+		}
+		holder, readErr := readLockInfo(lp)
+		switch {
+		case errors.Is(readErr, fs.ErrNotExist):
+			// The holder released between Link and ReadFile; retry.
+			continue
+		case readErr != nil:
+			// A lock that cannot be parsed was not written by this
+			// protocol (links are atomic); treat it as debris and take
+			// over.
+		case holder.Host == host && !pidAlive(holder.PID):
+			// Stale: the owning process died on this host. Take over.
+		default:
+			return nil, &LockedError{Path: path, HolderPID: holder.PID, HolderHost: holder.Host}
+		}
+		os.Remove(lp)
+	}
+	holder, _ := readLockInfo(lp)
+	return nil, &LockedError{Path: path, HolderPID: holder.PID, HolderHost: holder.Host}
+}
+
+// readLockInfo parses an owner lock file.
+func readLockInfo(lp string) (lockInfo, error) {
+	data, err := os.ReadFile(lp)
+	if err != nil {
+		return lockInfo{}, err
+	}
+	var li lockInfo
+	if err := json.Unmarshal(data, &li); err != nil {
+		return lockInfo{}, fmt.Errorf("journal: parsing owner lock %s: %w", lp, err)
+	}
+	return li, nil
+}

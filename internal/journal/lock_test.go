@@ -1,0 +1,148 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSecondOpenerGetsLockedError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	defer j.Close()
+
+	var le *LockedError
+	if _, err := Open(path, testHeader()); !errors.As(err, &le) {
+		t.Fatalf("second Open returned %v, want *LockedError", err)
+	}
+	if le.HolderPID != os.Getpid() {
+		t.Errorf("LockedError.HolderPID = %d, want own pid %d", le.HolderPID, os.Getpid())
+	}
+	if le.Path != path {
+		t.Errorf("LockedError.Path = %q, want %q", le.Path, path)
+	}
+	if _, err := Create(path, testHeader()); !errors.As(err, &le) {
+		t.Errorf("second Create returned %v, want *LockedError", err)
+	}
+}
+
+func TestCloseReleasesLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lockPath(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("lock file survived Close: stat err = %v", err)
+	}
+	r, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	r.Close()
+	// Double Close must not delete a successor's lock.
+	r2, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lockPath(path)); err != nil {
+		t.Error("double Close of the previous owner removed the successor's lock")
+	}
+}
+
+func TestStaleLockTakenOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	mustCreate(t, path, testHeader()).Close()
+
+	host, _ := os.Hostname()
+	// A lock held by a same-host PID that no longer exists is stale.
+	// PIDs are allocated upward and wrap at kernel.pid_max (≥ 32768,
+	// typically 4194304); math.MaxInt32 exceeds any valid PID.
+	stale, _ := json.Marshal(lockInfo{PID: 1<<31 - 1, Host: host})
+	if err := os.WriteFile(lockPath(path), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatalf("stale same-host lock not taken over: %v", err)
+	}
+	j.Close()
+
+	// An unparseable lock was not written by this protocol: debris,
+	// taken over.
+	if err := os.WriteFile(lockPath(path), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err = Open(path, testHeader())
+	if err != nil {
+		t.Fatalf("garbage lock not taken over: %v", err)
+	}
+	j.Close()
+}
+
+func TestForeignHostLockRespected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	mustCreate(t, path, testHeader()).Close()
+
+	// A lock from another host cannot be liveness-probed, so it is
+	// honored even when its PID happens to be dead here.
+	foreign, _ := json.Marshal(lockInfo{PID: 1<<31 - 1, Host: "some-other-host"})
+	if err := os.WriteFile(lockPath(path), foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var le *LockedError
+	if _, err := Open(path, testHeader()); !errors.As(err, &le) {
+		t.Fatalf("foreign-host lock returned %v, want *LockedError", err)
+	}
+	if le.HolderHost != "some-other-host" {
+		t.Errorf("LockedError.HolderHost = %q", le.HolderHost)
+	}
+}
+
+func TestLoadIgnoresLockAndDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := mustCreate(t, path, testHeader())
+	j.Record(0, "random", json.RawMessage(`{"v":0}`))
+	j.Record(0, "random", json.RawMessage(`{"v":1}`))
+	j.Record(2, "proposed", json.RawMessage(`{"v":2}`))
+
+	// Load must work while the owner still holds the lock (the shard
+	// merge reads live worker journals) and must not modify the file.
+	h, cells, torn, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load under a live lock: %v", err)
+	}
+	if torn {
+		t.Error("intact journal reported torn")
+	}
+	if h.Figure != "fig5" {
+		t.Errorf("Load header figure = %q", h.Figure)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("Load cells = %d, want 2", len(cells))
+	}
+	if string(cells[CellKey{0, "random"}]) != `{"v":1}` {
+		t.Errorf("duplicate not resolved last-write-wins: %s", cells[CellKey{0, "random"}])
+	}
+	j.Close()
+
+	// Torn tails are reported, not repaired.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("deadbeef {\"kind\":\"cell\"")
+	f.Close()
+	before, _ := os.ReadFile(path)
+	_, _, torn, err = Load(path)
+	if err != nil || !torn {
+		t.Errorf("Load(torn) = torn=%v err=%v, want torn=true err=nil", torn, err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("Load modified the journal file")
+	}
+}

@@ -56,6 +56,56 @@ type Manifest struct {
 	// Failures summarizes drops excluded under the error budget; nil
 	// when every drop succeeded.
 	Failures *FailureSummary `json:"failures,omitempty"`
+	// Shard records multi-process sharded-sweep evidence — which worker
+	// computed what, how many cells were stolen from dead workers, and
+	// how many duplicates the merge resolved. Nil for single-process
+	// runs.
+	Shard *ShardSummary `json:"shard,omitempty"`
+}
+
+// ShardSummary is the manifest evidence of a sharded (multi-process)
+// sweep: the merged figure's bytes are identical to a single-process
+// run — that is the shard engine's contract — so this summary is what
+// distinguishes them, and what the chaos CI greps to prove a kill
+// actually exercised the steal path.
+type ShardSummary struct {
+	// Dir is the shared shard directory the workers coordinated through.
+	Dir string `json:"dir,omitempty"`
+	// TotalCells is drops × schemes for the run.
+	TotalCells int `json:"total_cells"`
+	// MergedCells is how many distinct cells the merge recovered from
+	// the worker journals (equals TotalCells for a complete run).
+	MergedCells int `json:"merged_cells"`
+	// DuplicateCells counts cells recorded by more than one worker — a
+	// lease stolen after the original owner had already journaled, or a
+	// kill window between journal fsync and done-marking. Duplicates
+	// resolve last-write-wins and are byte-identical (cells are pure in
+	// seed, drop, scheme).
+	DuplicateCells int `json:"duplicate_cells"`
+	// StolenCells counts lease steals: cells a worker reclaimed from a
+	// stale (dead or wedged) owner. Nonzero after a mid-sweep kill.
+	StolenCells int `json:"stolen_cells"`
+	// Workers lists per-worker evidence, sorted by worker ID.
+	Workers []ShardWorker `json:"workers,omitempty"`
+}
+
+// ShardWorker is one worker's contribution to a sharded sweep.
+type ShardWorker struct {
+	// Worker is the worker ID (journal and summary file basename).
+	Worker string `json:"worker"`
+	// JournaledCells is how many distinct cells the worker's journal
+	// holds.
+	JournaledCells int `json:"journaled_cells"`
+	// ComputedCells and StolenCells are the worker's self-reported
+	// tallies (zero when the worker died before writing its summary).
+	ComputedCells int `json:"computed_cells"`
+	StolenCells   int `json:"stolen_cells"`
+	// FailedCells counts cells the worker attempted and could not
+	// complete.
+	FailedCells int `json:"failed_cells"`
+	// Reported is false for a worker that never wrote its final summary
+	// — the signature of a killed worker.
+	Reported bool `json:"reported"`
 }
 
 // ResumeSummary is the manifest evidence of a checkpointed run: with
@@ -135,8 +185,11 @@ func (m *Manifest) Validate() error {
 	if len(m.Config) > 0 && !json.Valid(m.Config) {
 		return fmt.Errorf("obs: manifest config is not valid JSON")
 	}
-	if m.Instrumented && len(m.Phases) == 0 {
-		return fmt.Errorf("obs: instrumented manifest has no phase timings")
+	if m.Instrumented && len(m.Phases) == 0 && (m.Resume == nil || m.Resume.SkippedCells == 0) {
+		// Phases are recorded per computed cell, so a run whose journal
+		// replayed every cell (a complete resume, or a figure generated
+		// from a fully merged shard directory) legitimately has none.
+		return fmt.Errorf("obs: instrumented manifest has no phase timings and no replayed cells")
 	}
 	for _, p := range m.Phases {
 		if p.Name == "" {
@@ -193,6 +246,31 @@ func (m *Manifest) Validate() error {
 			if c.Scheme == "" || c.Error == "" {
 				return fmt.Errorf("obs: failure cell (drop %d) missing scheme or error", c.Drop)
 			}
+		}
+	}
+	if sh := m.Shard; sh != nil {
+		if sh.TotalCells <= 0 {
+			return fmt.Errorf("obs: shard summary has no cells (%+v)", sh)
+		}
+		if sh.MergedCells < 0 || sh.MergedCells > sh.TotalCells {
+			return fmt.Errorf("obs: shard summary merged %d of %d cells", sh.MergedCells, sh.TotalCells)
+		}
+		if sh.DuplicateCells < 0 || sh.StolenCells < 0 {
+			return fmt.Errorf("obs: shard summary has negative steal/duplicate counts (%+v)", sh)
+		}
+		journaled := 0
+		for _, w := range sh.Workers {
+			if w.Worker == "" {
+				return fmt.Errorf("obs: shard worker with empty ID")
+			}
+			if w.JournaledCells < 0 || w.ComputedCells < 0 || w.StolenCells < 0 || w.FailedCells < 0 {
+				return fmt.Errorf("obs: shard worker %s has negative counts (%+v)", w.Worker, w)
+			}
+			journaled += w.JournaledCells
+		}
+		if len(sh.Workers) > 0 && journaled != sh.MergedCells+sh.DuplicateCells {
+			return fmt.Errorf("obs: shard summary journaled cells (%d) do not account for merged %d + duplicates %d",
+				journaled, sh.MergedCells, sh.DuplicateCells)
 		}
 	}
 	return nil

@@ -158,6 +158,11 @@ func TestManifestValidateAndRoundTrip(t *testing.T) {
 	m.Resume = &ResumeSummary{Journal: "fig5.journal", ConfigHash: "abc123",
 		SkippedCells: 2, RecordedCells: 4, TotalCells: 6}
 	m.Retries = &RetrySummary{MaxRetries: 2, Attempts: 5, RecoveredCells: 3, ExhaustedCells: 1}
+	m.Shard = &ShardSummary{Dir: "/tmp/shard", TotalCells: 6, MergedCells: 6, DuplicateCells: 1, StolenCells: 2,
+		Workers: []ShardWorker{
+			{Worker: "w1", JournaledCells: 4, ComputedCells: 4, StolenCells: 2, Reported: true},
+			{Worker: "w2", JournaledCells: 3, ComputedCells: 3, Reported: false},
+		}}
 	var buf bytes.Buffer
 	if err := m.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
@@ -178,6 +183,10 @@ func TestManifestValidateAndRoundTrip(t *testing.T) {
 	}
 	if back.Failures.Cells[0].Attempts != 3 {
 		t.Errorf("failure cell attempts lost in round trip: %+v", back.Failures.Cells[0])
+	}
+	if back.Shard == nil || back.Shard.StolenCells != 2 || len(back.Shard.Workers) != 2 ||
+		back.Shard.Workers[1].Reported {
+		t.Errorf("shard evidence lost in round trip: %+v", back.Shard)
 	}
 }
 
@@ -216,6 +225,23 @@ func TestManifestValidateRejectsBadDocuments(t *testing.T) {
 		},
 		"retry outcomes exceed attempts": func(m *Manifest) {
 			m.Retries = &RetrySummary{Attempts: 2, RecoveredCells: 2, ExhaustedCells: 1}
+		},
+		"shard with no cells": func(m *Manifest) {
+			m.Shard = &ShardSummary{}
+		},
+		"shard merged exceeds total": func(m *Manifest) {
+			m.Shard = &ShardSummary{TotalCells: 4, MergedCells: 5}
+		},
+		"shard negative steals": func(m *Manifest) {
+			m.Shard = &ShardSummary{TotalCells: 4, MergedCells: 4, StolenCells: -1}
+		},
+		"shard worker without id": func(m *Manifest) {
+			m.Shard = &ShardSummary{TotalCells: 4, MergedCells: 4,
+				Workers: []ShardWorker{{JournaledCells: 4}}}
+		},
+		"shard journaled cells unaccounted": func(m *Manifest) {
+			m.Shard = &ShardSummary{TotalCells: 4, MergedCells: 4, DuplicateCells: 0,
+				Workers: []ShardWorker{{Worker: "w1", JournaledCells: 5, Reported: true}}}
 		},
 	}
 	for name, mutate := range cases {

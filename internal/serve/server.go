@@ -112,6 +112,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/estimate", s.timed("estimate", s.handleEstimate))
 	s.mux.HandleFunc("/v1/align", s.timed("align", s.handleAlign))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s
 }
@@ -325,9 +326,22 @@ func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handleHealthz reports liveness; a draining server answers 503 so load
-// balancers stop routing to it.
+// handleHealthz reports liveness: 200 for as long as the process can
+// serve HTTP at all, draining included. Liveness and readiness are
+// deliberately distinct endpoints — an orchestrator restarts a process
+// that fails liveness, which is exactly wrong for a server that is
+// healthy and finishing its in-flight work; routing decisions belong
+// to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+}
+
+// handleReadyz reports readiness to accept new work: 503 from the
+// moment Drain begins — before the last in-flight request completes —
+// so load balancers stop routing to the instance while it is still
+// alive to finish what it already accepted.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)

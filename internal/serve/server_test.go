@@ -398,14 +398,24 @@ func TestGracefulDrain(t *testing.T) {
 		t.Errorf("kind = %q, want %q", kind, errDraining)
 	}
 
-	// Health flips to draining for load balancers.
-	resp, err := http.Get(ts.URL + "/healthz")
+	// Readiness flips to draining for load balancers; liveness stays 200
+	// — the process is healthy and finishing its in-flight work, and a
+	// restart now would kill that work.
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz during drain = %d, want 503", resp.StatusCode)
+		t.Errorf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness must survive a drain)", resp.StatusCode)
 	}
 
 	// The in-flight request completes; only then does Drain return.
@@ -420,6 +430,75 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	if err := <-drainErr; err != nil {
 		t.Errorf("Drain = %v, want nil", err)
+	}
+}
+
+// TestReadyzDrainSequence pins the orchestration contract across the
+// whole drain lifecycle: ready before, unready the moment Drain begins
+// (while in-flight work is still running), alive throughout, and still
+// unready after the drain completes — readiness never flaps back.
+func TestReadyzDrainSequence(t *testing.T) {
+	gate := newBlockingGate()
+	srv := NewServer(Config{MaxConcurrent: 1, WrapProber: gate.wrap})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", got)
+	}
+
+	inflightDone := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL+"/v1/align", alignBody(1))
+		inflightDone <- status
+	}()
+	<-gate.started
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Drain(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Unready while the in-flight request is still executing — load
+	// balancers must stop routing before the last request finishes.
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200", got)
+	}
+
+	close(gate.gate)
+	if status := <-inflightDone; status != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", status)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain completed = %d, want 503 (readiness must not flap back)", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz after drain completed = %d, want 200", got)
 	}
 }
 
