@@ -328,6 +328,15 @@ func BenchmarkServeLoad(b *testing.B) {
 	benchsuite.BenchServeLoad(b)
 }
 
+// BenchmarkMulticell is the canonical regression-guarded cross-cell
+// batching benchmark (shared with cmd/benchdiff): the proposed-only
+// Fig. 5 regeneration with 8 concurrent drop workers routing their
+// solver GEMMs through the batch scheduler. Compare against
+// BENCH_multicell.json with cmd/benchdiff.
+func BenchmarkMulticell(b *testing.B) {
+	benchsuite.BenchMulticell(b)
+}
+
 // BenchmarkEigHermitian64 measures the 64×64 Hermitian Jacobi
 // eigendecomposition, the inner kernel of every covariance estimation.
 func BenchmarkEigHermitian64(b *testing.B) {

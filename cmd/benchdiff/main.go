@@ -61,7 +61,7 @@ func baselinePath(dir, name string) string {
 // defaultSet is the workload list used when -bench is not given. It
 // covers both hot-path kernels and one single-path figure of each kind;
 // the multipath figures are available by name.
-var defaultSet = []string{"estimate", "eigen", "gemm", "codebook", "serve", "fig5", "fig7"}
+var defaultSet = []string{"estimate", "eigen", "gemm", "codebook", "serve", "multicell", "fig5", "fig7"}
 
 func main() {
 	var (
@@ -214,6 +214,15 @@ func diff(out io.Writer, base, cur Baseline, nsTol, allocTol, metRel, metAbs, la
 			}
 			continue
 		}
+		// A NaN on either side makes the drift NaN, and a NaN drift
+		// compares false against both tolerances — which would silently
+		// PASS a workload that produced garbage. Non-finite values fail
+		// hard, with explicit text.
+		if !isFinite(cv) || !isFinite(bv) {
+			fmt.Fprintf(out, "  %-9s %12.4g -> %12.4g  non-finite value  FAIL\n", k, bv, cv)
+			ok = false
+			continue
+		}
 		drift := math.Abs(cv - bv)
 		bad := drift > metAbs && drift > metRel*math.Abs(bv)
 		fmt.Fprintf(out, "  %-9s %12.4g -> %12.4g  (drift %.3g)%s\n", k, bv, cv, drift, verdict(bad))
@@ -229,19 +238,29 @@ func diff(out io.Writer, base, cur Baseline, nsTol, allocTol, metRel, metAbs, la
 // path (the solver since the allocation-free rewrite) that starts
 // allocating again would otherwise print "+Inf%" — so the zero→nonzero
 // case is carried explicitly and reported as an absolute regression.
+// A NaN or Inf on either side is carried explicitly too: NaN poisons
+// every comparison to false, so `rel > tol` on a NaN delta would read
+// as "within tolerance" and silently PASS the exact runs a regression
+// gate exists to catch.
 type delta struct {
-	// rel is (cur-base)/base, valid only when !fromZero.
+	// rel is (cur-base)/base, valid only when !fromZero && !nonFinite.
 	rel float64
 	// fromZero marks a nonzero current value against a zero baseline.
 	fromZero bool
+	// nonFinite marks a NaN/Inf baseline or current value; always a
+	// hard failure.
+	nonFinite bool
 	// abs is cur-base, used to report fromZero regressions.
 	abs float64
 }
 
 // relDelta compares cur against base; 0→0 is a clean 0% change, 0→k a
-// fromZero regression. The result is never Inf or NaN for finite
-// inputs.
+// fromZero regression, and any NaN/Inf input a nonFinite hard failure.
+// The rel/abs fields are never Inf or NaN.
 func relDelta(cur, base float64) delta {
+	if !isFinite(cur) || !isFinite(base) {
+		return delta{nonFinite: true}
+	}
 	d := delta{abs: cur - base}
 	switch {
 	case base != 0:
@@ -252,11 +271,19 @@ func relDelta(cur, base float64) delta {
 	return d
 }
 
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
 // exceeds reports whether the change is a regression beyond tol. Any
 // growth from a zero baseline is a regression: no finite tolerance can
-// express "some fraction of zero".
+// express "some fraction of zero". Any non-finite value is a
+// regression: a NaN ns/op or metric means the workload (or its
+// baseline file) is broken, and must never pass the gate by poisoned
+// comparison.
 func (d delta) exceeds(tol float64) bool {
-	if d.fromZero {
+	if d.nonFinite || d.fromZero {
 		return true
 	}
 	return d.rel > tol
@@ -264,6 +291,9 @@ func (d delta) exceeds(tol float64) bool {
 
 // String renders the change for the diff table.
 func (d delta) String() string {
+	if d.nonFinite {
+		return "non-finite value"
+	}
 	if d.fromZero {
 		return fmt.Sprintf("%+g from zero baseline", d.abs)
 	}

@@ -81,6 +81,76 @@ func TestDiffZeroBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNonFiniteValuesHardFail is the regression test for the silent-PASS
+// bug: a NaN anywhere made delta.rel (or the metric drift) NaN, every
+// `> tol` comparison on it false, and the diff reported success on a
+// broken run. Non-finite values must FAIL with explicit text instead.
+func TestNonFiniteValuesHardFail(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	// The delta layer: every NaN/Inf placement must exceed any tolerance.
+	for _, tc := range [][2]float64{{nan, 1000}, {1000, nan}, {nan, nan}, {inf, 1000}, {1000, inf}, {nan, 0}, {0, nan}} {
+		d := relDelta(tc[0], tc[1])
+		if !d.nonFinite || !d.exceeds(math.MaxFloat64) {
+			t.Errorf("relDelta(%g, %g) = %+v did not hard-fail", tc[0], tc[1], d)
+		}
+		if got := d.String(); !strings.Contains(got, "non-finite") {
+			t.Errorf("relDelta(%g, %g) renders as %q, want non-finite text", tc[0], tc[1], got)
+		}
+	}
+
+	base := Baseline{
+		Name:       "estimate",
+		Iterations: 10,
+		NsPerOp:    1000,
+		Metrics:    map[string]float64{"objective": 1.25, "p95_ns": 2e6},
+	}
+
+	// NaN ns/op in the current run: before the fix, rel=NaN > tol was
+	// false and this passed.
+	cur := base
+	cur.NsPerOp = nan
+	var buf bytes.Buffer
+	if diff(&buf, base, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+		t.Errorf("NaN ns/op passed the diff:\n%s", buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "non-finite value") || !strings.Contains(out, "FAIL") {
+		t.Errorf("NaN ns/op failure not reported explicitly:\n%s", out)
+	}
+
+	// NaN fidelity metric: drift=NaN compared false against both
+	// tolerances and passed.
+	for _, bad := range []float64{nan, inf} {
+		cur = base
+		cur.Metrics = map[string]float64{"objective": bad, "p95_ns": 2e6}
+		buf.Reset()
+		if diff(&buf, base, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+			t.Errorf("metric %g passed the diff:\n%s", bad, buf.String())
+		}
+		if out := buf.String(); !strings.Contains(out, "non-finite value") || !strings.Contains(out, "FAIL") {
+			t.Errorf("metric %g failure not reported explicitly:\n%s", bad, out)
+		}
+	}
+
+	// NaN latency percentile goes through the delta path and must fail
+	// there too.
+	cur = base
+	cur.Metrics = map[string]float64{"objective": 1.25, "p95_ns": nan}
+	buf.Reset()
+	if diff(&buf, base, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+		t.Errorf("NaN p95_ns passed the diff:\n%s", buf.String())
+	}
+
+	// A poisoned BASELINE file must not grandfather itself in either.
+	badBase := base
+	badBase.NsPerOp = nan
+	cur = base
+	buf.Reset()
+	if diff(&buf, badBase, cur, 0.25, 0.10, 0.05, 0.05, 1.5) {
+		t.Errorf("NaN baseline ns/op passed the diff:\n%s", buf.String())
+	}
+}
+
 func TestDiffLatencyMetricsUseLatTol(t *testing.T) {
 	// _ns-suffixed metrics are wall-clock percentiles: the tight
 	// fidelity drift tolerances (0.05 absolute!) would reject every run,

@@ -60,6 +60,11 @@ func All() []Workload {
 			Func: BenchServeLoad,
 		},
 		{
+			Name: "multicell",
+			Desc: "Fig. 5 proposed-only regeneration through the cross-cell batched GEMM engine (8 workers)",
+			Func: BenchMulticell,
+		},
+		{
 			Name: "fig5",
 			Desc: "Fig. 5 regeneration (SNR loss vs search rate, single-path, reduced drops)",
 			Func: figureFunc(5, "loss_dB"),
@@ -238,6 +243,40 @@ func BenchCodebookScore(b *testing.B) {
 		best = scores[topk[0]]
 	}
 	b.ReportMetric(best, "best_score")
+}
+
+// MulticellConfig is the cross-cell batching workload: the Fig. 5
+// regeneration restricted to the estimator-heavy proposed scheme, run
+// on 8 concurrent drop workers with CrossCellBatch enabled so the batch
+// scheduler actually coalesces same-shape solver GEMMs across cells.
+// Batching is bitwise-neutral, so the loss_dB fidelity metric must
+// equal the unbatched figure's.
+func MulticellConfig() experiment.Config {
+	cfg := FigureConfig(5)
+	cfg.Schemes = []string{"proposed"}
+	cfg.Workers = 8
+	cfg.CrossCellBatch = true
+	return cfg
+}
+
+// BenchMulticell measures the proposed-only Fig. 5 regeneration through
+// the cross-cell batched GEMM engine. Reports the proposed scheme's
+// final loss_dB as its fidelity metric.
+func BenchMulticell(b *testing.B) {
+	b.ReportAllocs()
+	var m float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Generate(5, MulticellConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ok bool
+		m, ok = FigureMetric(fig)
+		if !ok {
+			b.Fatal(errNoProposedSeries)
+		}
+	}
+	b.ReportMetric(m, "loss_dB")
 }
 
 // FigureConfig is the reduced-size figure configuration used by the

@@ -1,0 +1,18 @@
+package cmat
+
+// caxpyIntoGo is the portable reference for the GEMM inner-loop kernel
+// dst[j] += a·x[j]. It is the exact expression Go's complex128 multiply
+// lowers to — (aRe·xRe − aIm·xIm, aRe·xIm + aIm·xRe) added
+// componentwise — so vectorizing over the real/imaginary lanes (not
+// over j) preserves each dst[j]'s accumulation order exactly: one term
+// per call, components summed independently, ascending-j iteration
+// untouched.
+func caxpyIntoGo(dst, x []complex128, a complex128) {
+	aRe, aIm := real(a), imag(a)
+	_ = dst[:len(x)]
+	for j, xv := range x {
+		xRe, xIm := real(xv), imag(xv)
+		d := dst[j]
+		dst[j] = complex(real(d)+(aRe*xRe-aIm*xIm), imag(d)+(aRe*xIm+aIm*xRe))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build amd64 && !purego
+
+package cmat
+
+// SSE2 kernel for the complex axpy inner loop (caxpy_amd64.s). Bitwise
+// identical to caxpyIntoGo — pinned by TestCaxpyMatchesGoBitwise.
+
+//go:noescape
+func caxpyInto(dst, x []complex128, a complex128)

@@ -1,0 +1,73 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// SSE2 complex axpy: dst[j] += a·x[j]. Same bitwise contract as the
+// Jacobi kernel (see jacobi_amd64.s): per-lane IEEE ops matching the Go
+// expression exactly, with x − y rewritten as x + (−y) via a sign-flip
+// mask. Vectorization is across the real/imag lanes of ONE element, so
+// the ascending-j term order of every dst entry is untouched.
+
+DATA caxsignlow<>+0(SB)/8, $0x8000000000000000
+DATA caxsignlow<>+8(SB)/8, $0x0000000000000000
+GLOBL caxsignlow<>(SB), RODATA|NOPTR, $16
+
+// func caxpyInto(dst, x []complex128, a complex128)
+TEXT ·caxpyInto(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+	MOVSD a_real+48(FP), X9
+	UNPCKLPD X9, X9        // [aRe, aRe]
+	MOVSD a_imag+56(FP), X10
+	UNPCKLPD X10, X10      // [aIm, aIm]
+	MOVUPD caxsignlow<>(SB), X15
+
+	MOVQ CX, DX
+	SHRQ $1, DX            // pairs
+	JZ   tail
+
+pairloop:
+	MOVUPD (SI), X0        // x0
+	MOVAPD X0, X1
+	SHUFPD $1, X1, X1      // [x0Im, x0Re]
+	MULPD  X9, X0          // [aRe·x0Re, aRe·x0Im]
+	MULPD  X10, X1         // [aIm·x0Im, aIm·x0Re]
+	XORPD  X15, X1
+	ADDPD  X1, X0          // a·x0
+	MOVUPD (DI), X2
+	ADDPD  X0, X2          // dst0 + a·x0
+	MOVUPD X2, (DI)
+
+	MOVUPD 16(SI), X3      // x1
+	MOVAPD X3, X4
+	SHUFPD $1, X4, X4
+	MULPD  X9, X3
+	MULPD  X10, X4
+	XORPD  X15, X4
+	ADDPD  X4, X3          // a·x1
+	MOVUPD 16(DI), X5
+	ADDPD  X3, X5
+	MOVUPD X5, 16(DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  pairloop
+
+tail:
+	ANDQ $1, CX
+	JZ   done
+	MOVUPD (SI), X0
+	MOVAPD X0, X1
+	SHUFPD $1, X1, X1
+	MULPD  X9, X0
+	MULPD  X10, X1
+	XORPD  X15, X1
+	ADDPD  X1, X0
+	MOVUPD (DI), X2
+	ADDPD  X0, X2
+	MOVUPD X2, (DI)
+
+done:
+	RET

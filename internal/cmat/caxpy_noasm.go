@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package cmat
+
+func caxpyInto(dst, x []complex128, a complex128) {
+	caxpyIntoGo(dst, x, a)
+}

@@ -1,0 +1,10 @@
+//go:build amd64 && !purego
+
+package cmat
+
+// SSE2 kernel for the paired diagonal-weighted Hermitian dot
+// (cdot_amd64.s). Bitwise identical to cdotDiagHerm2Go — pinned by
+// TestCdotDiagHerm2MatchesGoBitwise.
+
+//go:noescape
+func cdotDiagHerm2(a, d, b0, b1 []complex128) (s0, s1 complex128)

@@ -1,0 +1,93 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// SSE2 paired diagonal-weighted Hermitian dot:
+//   s0 = Σ_j d[j]·(a[j]·conj(b0[j])),  s1 = Σ_j d[j]·(a[j]·conj(b1[j]))
+// Same bitwise contract as the other kernels in this package: per-lane
+// IEEE ops matching the Go expression in cdot.go exactly. conj is a
+// sign flip of the imaginary lane; each complex multiply follows the
+// (xRe·yRe − xIm·yIm, xRe·yIm + xIm·yRe) lowering with the subtraction
+// rewritten as x + (−y) via a sign-flip mask; each sum accumulates in
+// ascending j into one packed [re, im] register per output entry.
+
+DATA cdsignlow<>+0(SB)/8, $0x8000000000000000
+DATA cdsignlow<>+8(SB)/8, $0x0000000000000000
+GLOBL cdsignlow<>(SB), RODATA|NOPTR, $16
+
+DATA cdsignhigh<>+0(SB)/8, $0x0000000000000000
+DATA cdsignhigh<>+8(SB)/8, $0x8000000000000000
+GLOBL cdsignhigh<>(SB), RODATA|NOPTR, $16
+
+// func cdotDiagHerm2(a, d, b0, b1 []complex128) (s0, s1 complex128)
+TEXT ·cdotDiagHerm2(SB), NOSPLIT, $0-128
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ d_base+24(FP), BX
+	MOVQ b0_base+48(FP), R8
+	MOVQ b1_base+72(FP), R9
+	MOVUPD cdsignhigh<>(SB), X8
+	MOVUPD cdsignlow<>(SB), X15
+	XORPS X6, X6           // s0
+	XORPS X7, X7           // s1
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	MOVUPD (SI), X0        // av
+	MOVAPD X0, X1
+	UNPCKLPD X1, X1        // [aRe, aRe]
+	UNPCKHPD X0, X0        // [aIm, aIm]
+	MOVUPD (BX), X2        // dv
+	MOVAPD X2, X3
+	UNPCKLPD X3, X3        // [dRe, dRe]
+	UNPCKHPD X2, X2        // [dIm, dIm]
+
+	// t = av·conj(b0[j])
+	MOVUPD (R8), X4
+	XORPD  X8, X4          // conj: [bRe, −bIm]
+	MOVAPD X4, X5
+	SHUFPD $1, X5, X5      // [−bIm, bRe]
+	MULPD  X1, X4          // [aRe·bRe, aRe·(−bIm)]
+	MULPD  X0, X5          // [aIm·(−bIm), aIm·bRe]
+	XORPD  X15, X5
+	ADDPD  X5, X4          // t
+	// term = dv·t
+	MOVAPD X4, X5
+	SHUFPD $1, X5, X5      // [tIm, tRe]
+	MULPD  X3, X4          // [dRe·tRe, dRe·tIm]
+	MULPD  X2, X5          // [dIm·tIm, dIm·tRe]
+	XORPD  X15, X5
+	ADDPD  X5, X4          // term
+	ADDPD  X4, X6          // s0 += term
+
+	// t = av·conj(b1[j])
+	MOVUPD (R9), X4
+	XORPD  X8, X4
+	MOVAPD X4, X5
+	SHUFPD $1, X5, X5
+	MULPD  X1, X4
+	MULPD  X0, X5
+	XORPD  X15, X5
+	ADDPD  X5, X4
+	// term = dv·t
+	MOVAPD X4, X5
+	SHUFPD $1, X5, X5
+	MULPD  X3, X4
+	MULPD  X2, X5
+	XORPD  X15, X5
+	ADDPD  X5, X4
+	ADDPD  X4, X7          // s1 += term
+
+	ADDQ $16, SI
+	ADDQ $16, BX
+	ADDQ $16, R8
+	ADDQ $16, R9
+	DECQ CX
+	JNZ  loop
+
+done:
+	MOVUPD X6, s0_real+96(FP)
+	MOVUPD X7, s1_real+112(FP)
+	RET

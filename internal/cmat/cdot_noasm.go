@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package cmat
+
+func cdotDiagHerm2(a, d, b0, b1 []complex128) (s0, s1 complex128) {
+	return cdotDiagHerm2Go(a, d, b0, b1)
+}

@@ -1,0 +1,100 @@
+package cmat
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Adversarial (rows, workers) pairs for the chunking property tests:
+// rows slightly above workers is where the old ceil-div split collapsed
+// to half-idle fan-outs (33 rows / 32 procs → 2-row chunks, 17 workers).
+func chunkCases() [][2]int {
+	cases := [][2]int{
+		{0, 1}, {1, 1}, {1, 8}, {2, 8},
+		{32, 32}, {33, 32}, {34, 32}, {47, 32}, {63, 32}, {64, 32}, {65, 32},
+		{33, 16}, {31, 32}, {1000, 7}, {1000, 32}, {97, 96}, {129, 128},
+		{56, 8}, {64, 8}, {100, 3},
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		rows := rng.Intn(512)
+		workers := 1 + rng.Intn(128)
+		cases = append(cases, [2]int{rows, workers})
+	}
+	return cases
+}
+
+// TestRowChunksBalancedDisjointCover checks the three properties the
+// GEMM fan-out depends on: chunks exactly tile [0, rows) with no
+// overlap (the bitwise contract), no chunk is empty, and chunk sizes
+// differ by at most one row (the rebalance fix).
+func TestRowChunksBalancedDisjointCover(t *testing.T) {
+	for _, tc := range chunkCases() {
+		rows, workers := tc[0], tc[1]
+		chunks := rowChunks(rows, workers)
+		if rows == 0 {
+			if len(chunks) != 0 {
+				t.Fatalf("rowChunks(%d, %d): want no chunks, got %v", rows, workers, chunks)
+			}
+			continue
+		}
+		want := workers
+		if want > rows {
+			want = rows
+		}
+		if len(chunks) != want {
+			t.Fatalf("rowChunks(%d, %d): got %d chunks, want %d", rows, workers, len(chunks), want)
+		}
+		next := 0
+		minSize, maxSize := rows+1, 0
+		for _, ch := range chunks {
+			lo, hi := ch[0], ch[1]
+			if lo != next {
+				t.Fatalf("rowChunks(%d, %d): chunk starts at %d, want %d (gap or overlap)", rows, workers, lo, next)
+			}
+			size := hi - lo
+			if size < 1 {
+				t.Fatalf("rowChunks(%d, %d): empty chunk [%d,%d)", rows, workers, lo, hi)
+			}
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+			next = hi
+		}
+		if next != rows {
+			t.Fatalf("rowChunks(%d, %d): chunks end at %d, want %d", rows, workers, next, rows)
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("rowChunks(%d, %d): chunk sizes range %d..%d, want spread ≤ 1", rows, workers, minSize, maxSize)
+		}
+	}
+}
+
+// TestParallelRowsCoversEveryRowOnce drives the real fan-out under a
+// forced GOMAXPROCS and checks every row is visited exactly once —
+// the disjointness that makes parallel GEMM results bitwise identical
+// to serial ones.
+func TestParallelRowsCoversEveryRowOnce(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(32))
+	for _, rows := range []int{1, 2, 31, 32, 33, 47, 64, 65, 97, 1000} {
+		var mu sync.Mutex
+		visits := make([]int, rows)
+		parallelRows(rows, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				visits[i]++
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("rows=%d: row %d visited %d times, want exactly once", rows, i, v)
+			}
+		}
+	}
+}

@@ -48,8 +48,16 @@ func EigHermitian(a *Matrix) (Eigen, error) {
 // decomposition must copy them out.
 type EigenWorkspace struct {
 	n          int
-	w          *Matrix // working copy, reduced to diagonal by rotations
-	v          *Matrix // accumulated eigenvectors (unsorted)
+	w *Matrix // working copy, reduced to diagonal by rotations
+	// v accumulates the rotations TRANSPOSED: row r of v is the
+	// (unsorted) eigenvector r. The rotation mixes eigenvector entries
+	// pairwise, so in transposed storage the update walks two
+	// contiguous rows instead of two stride-n columns — same per-entry
+	// arithmetic in the same order (bitwise identical values), but
+	// cache-friendly: at n=64 the strided walk hit a 1 KiB stride that
+	// collapsed onto four L1 sets. The final permutation copy
+	// transposes back into column-eigenvector layout.
+	v *Matrix
 	vals       []float64
 	idx        []int
 	sorter     eigenSorter
@@ -149,8 +157,9 @@ func (ws *EigenWorkspace) EigHermitian(a *Matrix) (Eigen, error) {
 	sortedVals, sortedVecs := ws.sortedVals, ws.sortedVecs
 	for newCol, oldCol := range idx {
 		sortedVals[newCol] = vals[oldCol]
+		vrow := v.data[oldCol*n : oldCol*n+n]
 		for r := 0; r < n; r++ {
-			sortedVecs.data[r*n+newCol] = v.data[r*n+oldCol]
+			sortedVecs.data[r*n+newCol] = vrow[r]
 		}
 	}
 	return Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
@@ -218,45 +227,20 @@ func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
 	// products cc·wpk and ss·wpk are expanded into their real and
 	// imaginary parts with the zero-imaginary cross terms dropped —
 	// c·re(w) instead of c·re(w) − 0·im(w) — which halves the multiply
-	// count of those products. The strided column-mirror stores use
-	// running offsets instead of recomputing k·n each iteration.
-	spRe, spIm := real(sPhase), imag(sPhase)
-	cpRe, cpIm := real(cPhase), imag(cPhase)
-	rotate := func(k, kp, kq int) {
-		wpk, wqk := rowP[k], rowQ[k]
-		wpRe, wpIm := real(wpk), imag(wpk)
-		wqRe, wqIm := real(wqk), imag(wqk)
-		bpRe := c*wpRe - (spRe*wqRe - spIm*wqIm)
-		bpIm := c*wpIm - (spRe*wqIm + spIm*wqRe)
-		bqRe := s*wpRe + (cpRe*wqRe - cpIm*wqIm)
-		bqIm := s*wpIm + (cpRe*wqIm + cpIm*wqRe)
-		rowP[k] = complex(bpRe, bpIm)
-		rowQ[k] = complex(bqRe, bqIm)
-		wd[kp] = complex(bpRe, -bpIm)
-		wd[kq] = complex(bqRe, -bqIm)
-	}
-	// Walk the three stretches [0,p), (p,q), (q,n) so the loop body
-	// carries no pivot-skip branch (p < q always holds here).
-	kp, kq := p, q
-	for k := 0; k < p; k++ {
-		rotate(k, kp, kq)
-		kp += n
-		kq += n
-	}
-	kp += n
-	kq += n
-	for k := p + 1; k < q; k++ {
-		rotate(k, kp, kq)
-		kp += n
-		kq += n
-	}
-	kp += n
-	kq += n
-	for k := q + 1; k < n; k++ {
-		rotate(k, kp, kq)
-		kp += n
-		kq += n
-	}
+	// count of those products. The row sweep, column mirrors, and the
+	// eigenvector update (v ← v·W in transposed storage) all run in one
+	// fused kernel call (SSE2 assembly on amd64, portable Go elsewhere
+	// — see jacobi.go): one coefficient broadcast per rotation instead
+	// of per stretch. Column mirrors land at wd[k·n+p], wd[k·n+q] with
+	// k ∉ {p, q}, never at a row entry a later iteration reads, and the
+	// v array is disjoint from w, so fusing changes no memory ordering
+	// the arithmetic can observe.
+	coef := jacobiCoefs{c: c, s: s,
+		spRe: real(sPhase), spIm: imag(sPhase),
+		cpRe: real(cPhase), cpIm: imag(cPhase),
+		scRe: real(sPhaseConj), scIm: imag(sPhaseConj),
+		ccRe: real(cPhaseConj), ccIm: imag(cPhaseConj)}
+	jacobiApply(wd, vd, p, q, n, &coef)
 	// 2x2 pivot block: replicate the two-pass arithmetic exactly
 	// ((w·W) restricted to the block, then Wᴴ·(w·W)).
 	app2 := cc*wpp - sPhaseConj*wpq
@@ -269,18 +253,6 @@ func jacobiRotate(w, v *Matrix, p, q int, skipBelow float64) {
 	rowQ[q] = complex(real(ss*apq2+cPhase*aqq2), 0)
 	rowP[q] = 0
 	rowQ[p] = 0
-
-	// v ← v·W accumulates eigenvectors, with the same real-coefficient
-	// expansion as the row pass above.
-	scRe, scIm := real(sPhaseConj), imag(sPhaseConj)
-	ccRe, ccIm := real(cPhaseConj), imag(cPhaseConj)
-	for kp, kq := p, q; kp < len(vd); kp, kq = kp+n, kq+n {
-		vkp, vkq := vd[kp], vd[kq]
-		vpRe, vpIm := real(vkp), imag(vkp)
-		vqRe, vqIm := real(vkq), imag(vkq)
-		vd[kp] = complex(c*vpRe-(scRe*vqRe-scIm*vqIm), c*vpIm-(scRe*vqIm+scIm*vqRe))
-		vd[kq] = complex(s*vpRe+(ccRe*vqRe-ccIm*vqIm), s*vpIm+(ccRe*vqIm+ccIm*vqRe))
-	}
 }
 
 // TopEigenvector returns the eigenvector associated with the largest

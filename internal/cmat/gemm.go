@@ -42,27 +42,46 @@ func gemmParallel(rows, ops int) bool {
 	return rows >= gemmParallelRows && ops >= gemmParallelOps && runtime.GOMAXPROCS(0) >= 2
 }
 
+// rowChunks splits [0, rows) into at most workers contiguous chunks
+// whose sizes differ by at most one row: the first rows%workers chunks
+// carry one extra row. The old ceil-div split degenerated when rows was
+// slightly above workers (33 rows / 32 procs → seventeen 2-row chunks,
+// nearly half the workers idle); the balanced split keeps every worker
+// loaded. Chunks stay contiguous and disjoint, so which chunk a row
+// lands in cannot affect the bits that row produces.
+func rowChunks(rows, workers int) [][2]int {
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		return nil
+	}
+	base, rem := rows/workers, rows%workers
+	chunks := make([][2]int, workers)
+	lo := 0
+	for c := range chunks {
+		hi := lo + base
+		if c < rem {
+			hi++
+		}
+		chunks[c] = [2]int{lo, hi}
+		lo = hi
+	}
+	return chunks
+}
+
 // parallelRows splits [0, rows) into contiguous chunks and runs body on
 // each concurrently. Output rows are disjoint across chunks, so the
 // result is bitwise independent of the worker count. Callers gate on
 // gemmParallel and run body(0, rows) inline below the thresholds.
 func parallelRows(rows int, body func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
+	for _, ch := range rowChunks(rows, runtime.GOMAXPROCS(0)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			body(lo, hi)
-		}(lo, hi)
+		}(ch[0], ch[1])
 	}
 	wg.Wait()
 }
@@ -104,9 +123,7 @@ func mulIntoRows(dst, a, b *Matrix, lo, hi int) {
 			otile := orow[j0:j1]
 			for k, av := range arow {
 				btile := b.data[k*cols+j0 : k*cols+j1]
-				for j, bv := range btile {
-					otile[j] += av * bv
-				}
+				caxpyInto(otile, btile, av)
 			}
 		}
 	}
@@ -178,7 +195,16 @@ func mulDiagHermIntoRows(dst, a *Matrix, d []complex128, b *Matrix, lo, hi int) 
 	for i := lo; i < hi; i++ {
 		arow := a.data[i*inner : (i+1)*inner]
 		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for k := range orow {
+		// Pair output entries so the kernel runs two independent
+		// accumulation chains; each entry's ordered ascending-j sum is
+		// unchanged (see cdot.go).
+		k := 0
+		for ; k+1 < len(orow); k += 2 {
+			b0 := b.data[k*inner : (k+1)*inner]
+			b1 := b.data[(k+1)*inner : (k+2)*inner]
+			orow[k], orow[k+1] = cdotDiagHerm2(arow, d, b0, b1)
+		}
+		if k < len(orow) {
 			brow := b.data[k*inner : (k+1)*inner]
 			var s complex128
 			for j, av := range arow {

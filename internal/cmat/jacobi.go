@@ -1,0 +1,65 @@
+package cmat
+
+// jacobiCoefs carries the real-expanded coefficients of one complex
+// Jacobi rotation into the fused sweep kernel. The row/column-mirror
+// update uses a = s·e^{iφ}, b = c·e^{iφ}; the eigenvector update uses
+// the conjugate phase: a' = s·e^{−iφ}, b' = c·e^{−iφ}. One struct
+// pointer keeps the kernel ABI to a single argument.
+type jacobiCoefs struct {
+	c, s       float64
+	spRe, spIm float64 // s·e^{iφ}
+	cpRe, cpIm float64 // c·e^{iφ}
+	scRe, scIm float64 // s·e^{−iφ}
+	ccRe, ccIm float64 // c·e^{−iφ}
+}
+
+// jacobiApplyGo is the portable fused rotation kernel and the reference
+// semantics for the assembly version: the assembly must produce
+// bitwise-identical results for all finite inputs (its SIMD form
+// computes x − y as x + (−y) and negation as a sign-bit flip, both
+// IEEE-exact identities).
+//
+// The row pass rewrites the pivot-row pair (w rows p and q) for every
+// column k ∉ {p, q} and mirrors the conjugates into the pivot columns
+// at wd[k·n+p], wd[k·n+q] — the mirror stores land in rows k ∉ {p, q},
+// never at an entry a later iteration reads, so the per-k store order
+// is free of cross-iteration aliasing. The v pass applies the rotation
+// to the eigenvector accumulator, which is stored TRANSPOSED (row r of
+// vd is eigenvector r), so it walks the two contiguous rows p and q.
+func jacobiApplyGo(wd, vd []complex128, p, q, n int, coef *jacobiCoefs) {
+	c, s := coef.c, coef.s
+	spRe, spIm := coef.spRe, coef.spIm
+	cpRe, cpIm := coef.cpRe, coef.cpIm
+	rowP := wd[p*n : p*n+n : p*n+n]
+	rowQ := wd[q*n : q*n+n : q*n+n]
+	kp, kq := p, q
+	for k := 0; k < n; k++ {
+		if k != p && k != q {
+			wpk, wqk := rowP[k], rowQ[k]
+			wpRe, wpIm := real(wpk), imag(wpk)
+			wqRe, wqIm := real(wqk), imag(wqk)
+			bpRe := c*wpRe - (spRe*wqRe - spIm*wqIm)
+			bpIm := c*wpIm - (spRe*wqIm + spIm*wqRe)
+			bqRe := s*wpRe + (cpRe*wqRe - cpIm*wqIm)
+			bqIm := s*wpIm + (cpRe*wqIm + cpIm*wqRe)
+			rowP[k] = complex(bpRe, bpIm)
+			rowQ[k] = complex(bqRe, bqIm)
+			wd[kp] = complex(bpRe, -bpIm)
+			wd[kq] = complex(bqRe, -bqIm)
+		}
+		kp += n
+		kq += n
+	}
+
+	scRe, scIm := coef.scRe, coef.scIm
+	ccRe, ccIm := coef.ccRe, coef.ccIm
+	up := vd[p*n : p*n+n : p*n+n]
+	uq := vd[q*n : q*n+n : q*n+n]
+	for k := 0; k < n; k++ {
+		vkp, vkq := up[k], uq[k]
+		vpRe, vpIm := real(vkp), imag(vkp)
+		vqRe, vqIm := real(vkq), imag(vkq)
+		up[k] = complex(c*vpRe-(scRe*vqRe-scIm*vqIm), c*vpIm-(scRe*vqIm+scIm*vqRe))
+		uq[k] = complex(s*vpRe+(ccRe*vqRe-ccIm*vqIm), s*vpIm+(ccRe*vqIm+ccIm*vqRe))
+	}
+}

@@ -1,0 +1,13 @@
+//go:build amd64 && !purego
+
+package cmat
+
+// SSE2 kernel for the fused Jacobi rotation sweep (jacobi_amd64.s).
+// SSE2 is part of the amd64 baseline, so no feature detection is
+// needed. The packed ops are IEEE-exact per lane and amd64 Go never
+// auto-fuses multiply-adds, so the kernel is bitwise identical to the
+// portable Go form in jacobi.go — pinned by
+// TestJacobiApplyMatchesGoBitwise.
+
+//go:noescape
+func jacobiApply(wd, vd []complex128, p, q, n int, coef *jacobiCoefs)

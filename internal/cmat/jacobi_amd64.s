@@ -1,0 +1,258 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// SSE2 fused Jacobi rotation kernel. Bitwise contract: every lane op
+// below is an IEEE-754 operation on the same operands, in the same
+// order, as the portable Go kernel jacobiApplyGo in jacobi.go. The only
+// rewrites are the two exact identities
+//   x - y == x + (-y)
+//   -x    == x XOR signbit
+// so the results match the Go form bit for bit for all finite inputs
+// (and all infinities; only NaN payload propagation may differ, and a
+// NaN working matrix never converges, so no NaN reaches accepted
+// output). SSE2 only — MOVDDUP/ADDSUBPD are SSE3 and are avoided.
+// Both passes are unrolled 2×: the unroll only re-orders address
+// arithmetic, never the per-element FP sequence.
+
+// signlow flips the sign of the low lane (real part): used to turn
+// packed [aIm·wqIm, aIm·wqRe] into [-aIm·wqIm, aIm·wqRe] so one ADDPD
+// yields (aRe·wqRe − aIm·wqIm, aRe·wqIm + aIm·wqRe).
+DATA signlow<>+0(SB)/8, $0x8000000000000000
+DATA signlow<>+8(SB)/8, $0x0000000000000000
+GLOBL signlow<>(SB), RODATA|NOPTR, $16
+
+// signhigh flips the sign of the high lane (imaginary part): complex
+// conjugation for the column mirror stores.
+DATA signhigh<>+0(SB)/8, $0x0000000000000000
+DATA signhigh<>+8(SB)/8, $0x8000000000000000
+GLOBL signhigh<>(SB), RODATA|NOPTR, $16
+
+// ROWFP computes bp/bq for one rotation element: on entry X0 = w[p][k],
+// X1 = w[q][k]; on exit X5 = bp, X0 = bq (coefficient registers
+// X9-X15 per the broadcast block below).
+#define ROWFP \
+	MOVAPD X1, X2          \ // wq copy
+	SHUFPD $1, X2, X2      \ // [wqIm, wqRe]
+	MOVAPD X1, X3          \
+	MULPD  X11, X3         \ // [spRe·wqRe, spRe·wqIm]
+	MOVAPD X2, X4          \
+	MULPD  X12, X4         \ // [spIm·wqIm, spIm·wqRe]
+	XORPD  X15, X4         \ // [-spIm·wqIm, spIm·wqRe]
+	ADDPD  X4, X3          \ // sp·wq
+	MOVAPD X0, X5          \
+	MULPD  X9, X5          \ // c·wp
+	SUBPD  X3, X5          \ // bp
+	MULPD  X13, X1         \ // [cpRe·wqRe, cpRe·wqIm]
+	MULPD  X14, X2         \ // [cpIm·wqIm, cpIm·wqRe]
+	XORPD  X15, X2         \
+	ADDPD  X2, X1          \ // cp·wq
+	MULPD  X10, X0         \ // s·wp
+	ADDPD  X1, X0            // bq
+
+// VFP computes the eigenvector update for one element: on entry X0 =
+// up[k], X1 = uq[k]; on exit X5 = up', X0 = uq' (v-pass coefficients
+// in X11-X14).
+#define VFP \
+	MOVAPD X1, X2          \
+	SHUFPD $1, X2, X2      \
+	MOVAPD X1, X3          \
+	MULPD  X11, X3         \
+	MOVAPD X2, X4          \
+	MULPD  X12, X4         \
+	XORPD  X15, X4         \
+	ADDPD  X4, X3          \ // sc·vq
+	MOVAPD X0, X5          \
+	MULPD  X9, X5          \
+	SUBPD  X3, X5          \ // up' = c·vp − sc·vq
+	MULPD  X13, X1         \
+	MULPD  X14, X2         \
+	XORPD  X15, X2         \
+	ADDPD  X2, X1          \ // cc·vq
+	MULPD  X10, X0         \
+	ADDPD  X1, X0            // uq' = s·vp + cc·vq
+
+// func jacobiApply(wd, vd []complex128, p, q, n int, coef *jacobiCoefs)
+//
+// Row pass, k in [0, n) \ {p, q}:
+//   bp = c·w[p][k] − (spRe + i·spIm)·w[q][k]
+//   bq = s·w[p][k] + (cpRe + i·cpIm)·w[q][k]
+//   w[p][k] = bp; w[q][k] = bq; w[k][p] = conj(bp); w[k][q] = conj(bq)
+// V pass over the transposed accumulator rows up = vd[p·n:], uq = vd[q·n:]:
+//   up[k]' = c·up[k] − (scRe + i·scIm)·uq[k]
+//   uq[k]' = s·up[k] + (ccRe + i·ccIm)·uq[k]
+TEXT ·jacobiApply(SB), NOSPLIT, $0-80
+	MOVQ wd_base+0(FP), BX
+	MOVQ p+48(FP), R11
+	MOVQ q+56(FP), R12
+	MOVQ n+64(FP), R13
+	MOVQ coef+72(FP), AX
+
+	// Row-base pointers: SI = &w[p][0], DI = &w[q][0].
+	MOVQ R11, R10
+	IMULQ R13, R10
+	SHLQ $4, R10
+	LEAQ (BX)(R10*1), SI
+	MOVQ R12, R10
+	IMULQ R13, R10
+	SHLQ $4, R10
+	LEAQ (BX)(R10*1), DI
+	// Mirror-column pointers: R8 = &w[0][p], R9 = &w[0][q].
+	MOVQ R11, R10
+	SHLQ $4, R10
+	LEAQ (BX)(R10*1), R8
+	MOVQ R12, R10
+	SHLQ $4, R10
+	LEAQ (BX)(R10*1), R9
+	// DX = row stride in bytes; loop indices scaled ×2 so (base)(CX*8)
+	// addresses complex128 element k.
+	MOVQ R13, DX
+	SHLQ $4, DX
+	SHLQ $1, R11
+	SHLQ $1, R12
+	MOVQ R13, R14
+	SHLQ $1, R14
+	// Mirror-store prefetch distance: 8 rows ahead. The mirror walk
+	// touches a fresh cache line every iteration (stride = one matrix
+	// row), which is what binds this loop once w outgrows L1; PREFETCHT0
+	// never faults, so running past the array end is safe.
+	MOVQ DX, R15
+	SHLQ $3, R15
+
+	// Broadcast row-pass coefficients.
+	MOVSD 0(AX), X9        // c
+	UNPCKLPD X9, X9
+	MOVSD 8(AX), X10       // s
+	UNPCKLPD X10, X10
+	MOVSD 16(AX), X11      // spRe
+	UNPCKLPD X11, X11
+	MOVSD 24(AX), X12      // spIm
+	UNPCKLPD X12, X12
+	MOVSD 32(AX), X13      // cpRe
+	UNPCKLPD X13, X13
+	MOVSD 40(AX), X14      // cpIm
+	UNPCKLPD X14, X14
+	MOVUPD signlow<>(SB), X15
+	MOVUPD signhigh<>(SB), X8
+
+	// AX, BX are free until the v pass: AX = pair-loop bound, BX = 2·DX.
+	LEAQ -2(R14), AX
+	LEAQ (DX)(DX*1), BX
+
+	XORQ CX, CX
+	CMPQ CX, AX
+	JGE  rowtail
+rowpair:
+	// Element 0: index CX, mirrors (R8), (R9).
+	CMPQ CX, R11
+	JEQ  rskip0
+	CMPQ CX, R12
+	JEQ  rskip0
+	MOVUPD (SI)(CX*8), X0
+	MOVUPD (DI)(CX*8), X1
+	ROWFP
+	MOVUPD X5, (SI)(CX*8)
+	MOVUPD X0, (DI)(CX*8)
+	XORPD  X8, X5
+	XORPD  X8, X0
+	MOVUPD X5, (R8)
+	MOVUPD X0, (R9)
+	PREFETCHT0 (R8)(R15*1)
+	PREFETCHT0 (R9)(R15*1)
+rskip0:
+	// Element 1: index CX+2, mirrors (R8)(DX*1), (R9)(DX*1).
+	LEAQ 2(CX), R10
+	CMPQ R10, R11
+	JEQ  rskip1
+	CMPQ R10, R12
+	JEQ  rskip1
+	MOVUPD 16(SI)(CX*8), X0
+	MOVUPD 16(DI)(CX*8), X1
+	ROWFP
+	MOVUPD X5, 16(SI)(CX*8)
+	MOVUPD X0, 16(DI)(CX*8)
+	XORPD  X8, X5
+	XORPD  X8, X0
+	MOVUPD X5, (R8)(DX*1)
+	MOVUPD X0, (R9)(DX*1)
+	LEAQ (R8)(R15*1), R10
+	PREFETCHT0 (R10)(DX*1)
+	LEAQ (R9)(R15*1), R10
+	PREFETCHT0 (R10)(DX*1)
+rskip1:
+	ADDQ BX, R8
+	ADDQ BX, R9
+	ADDQ $4, CX
+	CMPQ CX, AX
+	JLT  rowpair
+
+rowtail:
+	CMPQ CX, R14
+	JGE  rowdone
+	CMPQ CX, R11
+	JEQ  rowdone
+	CMPQ CX, R12
+	JEQ  rowdone
+	MOVUPD (SI)(CX*8), X0
+	MOVUPD (DI)(CX*8), X1
+	ROWFP
+	MOVUPD X5, (SI)(CX*8)
+	MOVUPD X0, (DI)(CX*8)
+	XORPD  X8, X5
+	XORPD  X8, X0
+	MOVUPD X5, (R8)
+	MOVUPD X0, (R9)
+rowdone:
+
+	// V pass: two contiguous rows of the transposed accumulator.
+	MOVQ vd_base+24(FP), BX
+	MOVQ coef+72(FP), AX
+	MOVQ R11, R10          // p·2
+	IMULQ R13, R10
+	SHLQ $3, R10           // p·n·16
+	LEAQ (BX)(R10*1), SI
+	MOVQ R12, R10          // q·2
+	IMULQ R13, R10
+	SHLQ $3, R10
+	LEAQ (BX)(R10*1), DI
+
+	// Broadcast v-pass coefficients (c, s, masks persist).
+	MOVSD 48(AX), X11      // scRe
+	UNPCKLPD X11, X11
+	MOVSD 56(AX), X12      // scIm
+	UNPCKLPD X12, X12
+	MOVSD 64(AX), X13      // ccRe
+	UNPCKLPD X13, X13
+	MOVSD 72(AX), X14      // ccIm
+	UNPCKLPD X14, X14
+
+	LEAQ -2(R14), AX
+	XORQ CX, CX
+	CMPQ CX, AX
+	JGE  vtail
+vpair:
+	MOVUPD (SI)(CX*8), X0
+	MOVUPD (DI)(CX*8), X1
+	VFP
+	MOVUPD X5, (SI)(CX*8)
+	MOVUPD X0, (DI)(CX*8)
+
+	MOVUPD 16(SI)(CX*8), X0
+	MOVUPD 16(DI)(CX*8), X1
+	VFP
+	MOVUPD X5, 16(SI)(CX*8)
+	MOVUPD X0, 16(DI)(CX*8)
+
+	ADDQ $4, CX
+	CMPQ CX, AX
+	JLT  vpair
+vtail:
+	CMPQ CX, R14
+	JGE  vdone
+	MOVUPD (SI)(CX*8), X0
+	MOVUPD (DI)(CX*8), X1
+	VFP
+	MOVUPD X5, (SI)(CX*8)
+	MOVUPD X0, (DI)(CX*8)
+vdone:
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package cmat
+
+func jacobiApply(wd, vd []complex128, p, q, n int, coef *jacobiCoefs) {
+	jacobiApplyGo(wd, vd, p, q, n, coef)
+}

@@ -1,0 +1,114 @@
+package cmat
+
+import "fmt"
+
+// Panel is one (dst, a, b) product of a multi-panel batch: dst = a·b for
+// MulIntoPanels, dst = a·bᴴ for MulHermIntoPanels. Panels in one batch
+// must share a common shape — the batch is executed as a single virtual
+// GEMM whose row space is the panels stacked vertically.
+type Panel struct {
+	Dst, A, B *Matrix
+}
+
+// MulIntoPanels computes dst = a·b for every panel as one batched
+// kernel. All panels must share the same (dst, a, b) shapes; the batch
+// is treated as a single tall GEMM of len(panels)·rows output rows, so
+// one parallel fan-out covers the whole group even when the individual
+// products sit below the per-call parallel threshold — the point of
+// cross-cell batching.
+//
+// Bitwise contract: every output row is produced by the same row kernel
+// MulInto uses, reading only that panel's operands, so each panel's dst
+// is bitwise identical to calling panel.Dst.MulInto(panel.A, panel.B)
+// on its own. Which panel a row belongs to only affects when the row is
+// computed, never its bits. Panics on any per-panel shape mismatch or
+// aliasing violation, and on shape disagreement across panels.
+func MulIntoPanels(panels []Panel) {
+	if len(panels) == 0 {
+		return
+	}
+	rows, inner, cols := checkPanels(panels, false)
+	if gemmParallel(len(panels)*rows, len(panels)*rows*inner*cols) {
+		parallelRows(len(panels)*rows, func(lo, hi int) {
+			panelRows(panels, rows, lo, hi, func(p Panel, llo, lhi int) {
+				mulIntoRows(p.Dst, p.A, p.B, llo, lhi)
+			})
+		})
+		return
+	}
+	for _, p := range panels {
+		mulIntoRows(p.Dst, p.A, p.B, 0, rows)
+	}
+}
+
+// MulHermIntoPanels computes dst = a·bᴴ for every panel as one batched
+// kernel, with the same shape, aliasing, and bitwise contract as
+// MulIntoPanels relative to MulHermInto (a may alias b within a panel,
+// the Gram case).
+func MulHermIntoPanels(panels []Panel) {
+	if len(panels) == 0 {
+		return
+	}
+	rows, inner, cols := checkPanels(panels, true)
+	if gemmParallel(len(panels)*rows, len(panels)*rows*inner*cols) {
+		parallelRows(len(panels)*rows, func(lo, hi int) {
+			panelRows(panels, rows, lo, hi, func(p Panel, llo, lhi int) {
+				mulHermIntoRows(p.Dst, p.A, p.B, llo, lhi)
+			})
+		})
+		return
+	}
+	for _, p := range panels {
+		mulHermIntoRows(p.Dst, p.A, p.B, 0, rows)
+	}
+}
+
+// checkPanels validates every panel exactly as the corresponding
+// single-product entry point would, plus shape agreement across the
+// batch, and returns the common (rows, inner, cols) of the output space.
+// herm selects the a·bᴴ shape rules (shared inner = a.cols = b.cols,
+// dst.cols = b.rows) over the a·b rules (a.cols = b.rows).
+func checkPanels(panels []Panel, herm bool) (rows, inner, cols int) {
+	for i, p := range panels {
+		if herm {
+			if p.A.cols != p.B.cols || p.Dst.rows != p.A.rows || p.Dst.cols != p.B.rows {
+				panic(fmt.Sprintf("cmat: MulHermIntoPanels panel %d shape mismatch %dx%d = %dx%d · (%dx%d)ᴴ",
+					i, p.Dst.rows, p.Dst.cols, p.A.rows, p.A.cols, p.B.rows, p.B.cols))
+			}
+		} else {
+			if p.A.cols != p.B.rows || p.Dst.rows != p.A.rows || p.Dst.cols != p.B.cols {
+				panic(fmt.Sprintf("cmat: MulIntoPanels panel %d shape mismatch %dx%d = %dx%d · %dx%d",
+					i, p.Dst.rows, p.Dst.cols, p.A.rows, p.A.cols, p.B.rows, p.B.cols))
+			}
+		}
+		if p.Dst == p.A || p.Dst == p.B {
+			panic(fmt.Sprintf("cmat: panel %d dst must not alias an operand", i))
+		}
+		if i == 0 {
+			rows, inner, cols = p.Dst.rows, p.A.cols, p.Dst.cols
+			continue
+		}
+		if p.Dst.rows != rows || p.A.cols != inner || p.Dst.cols != cols {
+			panic(fmt.Sprintf("cmat: panel %d shape %dx%d (inner %d) disagrees with panel 0 shape %dx%d (inner %d)",
+				i, p.Dst.rows, p.Dst.cols, p.A.cols, rows, cols, inner))
+		}
+	}
+	return rows, inner, cols
+}
+
+// panelRows maps the global row range [lo, hi) of the virtually stacked
+// batch onto per-panel local row ranges and invokes row for each
+// contiguous run. Global row g lives in panel g/rows at local row
+// g%rows.
+func panelRows(panels []Panel, rows, lo, hi int, row func(p Panel, llo, lhi int)) {
+	for g := lo; g < hi; {
+		pi := g / rows
+		llo := g - pi*rows
+		lhi := rows
+		if hi-pi*rows < rows {
+			lhi = hi - pi*rows
+		}
+		row(panels[pi], llo, lhi)
+		g = pi*rows + lhi
+	}
+}

@@ -90,6 +90,24 @@ type Options struct {
 	// restart (Nesterov momentum; fewer iterations on ill-conditioned
 	// instances at the cost of non-monotone progress).
 	Accelerated bool
+	// Batcher, when non-nil, routes the solver's per-iteration Q·V
+	// product through an external batch scheduler instead of calling
+	// cmat.MulInto directly — the seam that lets a multi-cell harness
+	// coalesce same-shape GEMMs across concurrently solving estimators.
+	// Purely a scheduling hook: implementations must return results
+	// bitwise identical to dst.MulInto(a, b), so setting it can never
+	// change an estimate.
+	Batcher Batcher
+}
+
+// Batcher is the cross-estimator GEMM scheduling seam (Options.Batcher).
+// MulInto must block until dst holds a·b and must produce exactly the
+// bits dst.MulInto(a, b) would; it may execute the product on another
+// goroutine (the caller establishes the necessary happens-before by
+// blocking) and must propagate any panic of the underlying kernel back
+// to the caller.
+type Batcher interface {
+	MulInto(dst, a, b *cmat.Matrix)
 }
 
 func (o Options) withDefaults() Options {
@@ -989,7 +1007,11 @@ func (e *Estimator) lambdasFor(q *cmat.Matrix, wk *solverWork) []float64 {
 	if wk.lamFor == q {
 		return wk.lambdas
 	}
-	wk.qv.MulInto(q, wk.vmat)
+	if e.opts.Batcher != nil {
+		e.opts.Batcher.MulInto(wk.qv, q, wk.vmat)
+	} else {
+		wk.qv.MulInto(q, wk.vmat)
+	}
 	cmat.ColumnDotsInto(wk.colDots, wk.vmat, wk.qv)
 	for j, d := range wk.colDots {
 		wk.lambdas[j] = flooredLambda(e.opts.Gamma, real(d))

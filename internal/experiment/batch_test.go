@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mmwalign/internal/align"
+	"mmwalign/internal/cmat"
+)
+
+// collectTrajectories runs the tiny fig5 workload and returns every
+// trajectory in deterministic visit order.
+func collectTrajectories(t *testing.T, cfg Config) []align.Trajectory {
+	t.Helper()
+	var trs []align.Trajectory
+	_, _, err := trajectories(context.Background(), cfg, 32, func(scheme string, drop int, tr align.Trajectory) {
+		trs = append(trs, tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trs
+}
+
+func requireBitIdentical(t *testing.T, label string, a, b []align.Trajectory) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: trajectory count differs: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Scheme != y.Scheme || x.OptPair != y.OptPair || x.BestPair != y.BestPair {
+			t.Fatalf("%s: trajectory %d identity differs", label, i)
+		}
+		if x.OptSNR != y.OptSNR || x.BestMeasuredSNR != y.BestMeasuredSNR || x.BestTrueSNR != y.BestTrueSNR {
+			t.Fatalf("%s: trajectory %d SNR fields differ bitwise", label, i)
+		}
+		if len(x.LossDB) != len(y.LossDB) {
+			t.Fatalf("%s: trajectory %d loss length differs", label, i)
+		}
+		for l := range x.LossDB {
+			if x.LossDB[l] != y.LossDB[l] {
+				t.Fatalf("%s: trajectory %d (%s) loss[%d] differs bitwise: %v vs %v",
+					label, i, x.Scheme, l, x.LossDB[l], y.LossDB[l])
+			}
+		}
+	}
+}
+
+// TestCrossCellBatchBitIdentical is the fidelity gate of the batch
+// engine: routing the estimator GEMMs through the cross-cell scheduler
+// must not move a single bit of any trajectory, unbatched vs batched,
+// at one worker and at eight. The estimator-heavy "proposed" scheme is
+// in the tiny config, so the batched path is genuinely exercised.
+func TestCrossCellBatchBitIdentical(t *testing.T) {
+	base := tinyConfig(false)
+	base.Workers = 1
+	unbatched := collectTrajectories(t, base)
+
+	batched1 := base
+	batched1.CrossCellBatch = true
+	requireBitIdentical(t, "batch on, workers=1", unbatched, collectTrajectories(t, batched1))
+
+	batched8 := base
+	batched8.CrossCellBatch = true
+	batched8.Workers = 8
+	requireBitIdentical(t, "batch on, workers=8", unbatched, collectTrajectories(t, batched8))
+}
+
+// TestCrossCellBatchExcludedFromHash pins the knob's runtime-only
+// status: like Workers, it cannot change output bits, so it must not
+// invalidate a resume journal.
+func TestCrossCellBatchExcludedFromHash(t *testing.T) {
+	a := tinyConfig(false)
+	b := a
+	b.CrossCellBatch = true
+	b.Workers = 8
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("CrossCellBatch/Workers changed the canonical hash")
+	}
+}
+
+// TestGemmBatcherCoalescesConcurrentRequests drives the scheduler
+// directly: many goroutines issuing same- and mixed-shape products must
+// each get exactly the bits a direct MulInto produces.
+func TestGemmBatcherCoalescesConcurrentRequests(t *testing.T) {
+	g := newGemmBatcher(nil)
+	defer g.stop()
+	randMat := func(rng *rand.Rand, r, c int) *cmat.Matrix {
+		m := cmat.New(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+		return m
+	}
+	type job struct{ dst, a, b, want *cmat.Matrix }
+	var jobs []job
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 24; i++ {
+		// Two shape classes interleaved, so groups form and split.
+		dim, l := 6, 9
+		if i%3 == 0 {
+			dim, l = 8, 5
+		}
+		a := randMat(rng, dim, dim)
+		b := randMat(rng, dim, l)
+		want := cmat.New(dim, l)
+		want.MulInto(a, b)
+		jobs = append(jobs, job{dst: cmat.New(dim, l), a: a, b: b, want: want})
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			g.MulInto(j.dst, j.a, j.b)
+		}(j)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if !j.dst.Equal(j.want) {
+			t.Fatalf("job %d: batched product differs from direct MulInto", i)
+		}
+	}
+}
+
+// TestGemmBatcherPropagatesKernelPanic checks that a shape-mismatch
+// panic inside the batched kernel resurfaces in the requesting
+// goroutine (where cell attribution lives) without wedging the
+// dispatcher for subsequent well-formed requests.
+func TestGemmBatcherPropagatesKernelPanic(t *testing.T) {
+	g := newGemmBatcher(nil)
+	defer g.stop()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("shape-mismatch panic did not propagate to the requester")
+			}
+		}()
+		g.MulInto(cmat.New(2, 2), cmat.New(2, 3), cmat.New(5, 2))
+	}()
+	// The dispatcher must still serve after the failed group.
+	a, b := cmat.New(2, 2), cmat.New(2, 2)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 2)
+	dst := cmat.New(2, 2)
+	g.MulInto(dst, a, b)
+	want := cmat.New(2, 2)
+	want.MulInto(a, b)
+	if !dst.Equal(want) {
+		t.Fatal("dispatcher wedged after a panicking group")
+	}
+}

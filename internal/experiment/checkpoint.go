@@ -13,9 +13,9 @@ import (
 
 // CanonicalHash returns the canonical hash of everything in the config
 // that determines figure output: the fully defaulted config with the
-// runtime-only knobs zeroed (Workers, MaxFailedDrops, MaxRetries,
-// RetryBackoff — none of which can change a successfully computed
-// cell). Two configs with equal hashes produce bit-identical cells, so
+// runtime-only knobs zeroed (Workers, CrossCellBatch, MaxFailedDrops,
+// MaxRetries, RetryBackoff — none of which can change a successfully
+// computed cell). Two configs with equal hashes produce bit-identical cells, so
 // the hash is the resume-safety check a journal header carries.
 // WrapSounder is excluded from the config JSON entirely; an injection
 // hook that alters measurements makes a journal as stale as a config
@@ -24,6 +24,7 @@ import (
 func (c Config) CanonicalHash() string {
 	c = c.WithDefaults()
 	c.Workers = 0
+	c.CrossCellBatch = false
 	c.MaxFailedDrops = 0
 	c.MaxRetries = 0
 	c.RetryBackoff = 0

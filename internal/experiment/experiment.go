@@ -83,6 +83,13 @@ type Config struct {
 	// Workers bounds the concurrent drops (0 = GOMAXPROCS). Results are
 	// independent of the worker count.
 	Workers int `json:"workers"`
+	// CrossCellBatch routes the estimator's per-iteration Q·V products
+	// of concurrently running "proposed"/"two-sided" cells through one
+	// cross-cell batch scheduler, which coalesces same-shape products
+	// into single virtual tall GEMMs (see batch.go). Pure scheduling:
+	// results are bitwise identical with the knob on or off, at any
+	// worker count, so it is zeroed in CanonicalHash like Workers.
+	CrossCellBatch bool `json:"cross_cell_batch"`
 	// PhaseBits applies b-bit phase-shifter quantization to both
 	// codebooks (0 = ideal continuous phases).
 	PhaseBits int `json:"phase_bits"`
@@ -121,6 +128,12 @@ type Config struct {
 	// deterministic in (drop, scheme) for the worker-count invariance
 	// guarantee to hold.
 	WrapSounder func(drop int, scheme string, p meas.Prober) meas.Prober `json:"-"`
+
+	// batcher is the live cross-cell GEMM scheduler of the current run,
+	// installed by trajectories when CrossCellBatch is set. Runtime
+	// state, never serialized; it rides the by-value Config copies down
+	// to makeStrategy, which hands it to the estimator options.
+	batcher *gemmBatcher
 }
 
 // WithDefaults returns a copy with zero fields replaced by the defaults
@@ -327,6 +340,17 @@ func buildEnv(cfg Config, root *rng.Source, drop int, scheme string, rec *obs.Re
 	}, nil
 }
 
+// estimatorBatcher returns the run's live batch scheduler as the
+// estimator's covest.Batcher seam, or a true nil interface when
+// batching is off — assigning the nil *gemmBatcher directly would
+// produce a typed-nil interface the estimator reads as "batching on".
+func (c Config) estimatorBatcher() covest.Batcher {
+	if c.batcher == nil {
+		return nil
+	}
+	return c.batcher
+}
+
 // makeStrategy instantiates a scheme by name for the given environment.
 func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, error) {
 	switch name {
@@ -345,6 +369,7 @@ func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, erro
 				Mu:       cfg.Mu,
 				MaxIters: cfg.EstimatorIters,
 				Kind:     cfg.EstimatorKind,
+				Batcher:  cfg.estimatorBatcher(),
 			},
 		}), nil
 	case "two-sided":
@@ -356,6 +381,7 @@ func makeStrategy(cfg Config, name string, env *align.Env) (align.Strategy, erro
 				Mu:       cfg.Mu,
 				MaxIters: cfg.EstimatorIters,
 				Kind:     cfg.EstimatorKind,
+				Batcher:  cfg.estimatorBatcher(),
 			},
 		}), nil
 	case "hierarchical":
@@ -533,6 +559,12 @@ func trajectories(ctx context.Context, cfg Config, budget int, visit func(scheme
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CrossCellBatch {
+		// One scheduler for the whole run; stopped only after every
+		// worker has drained, so no MulInto can race the close.
+		cfg.batcher = newGemmBatcher(rec)
+		defer cfg.batcher.stop()
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup

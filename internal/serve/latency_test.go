@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmwalign/internal/metrics"
+)
+
+// TestLatencyRingPartialFillPercentiles pins the warm-up behaviour of
+// the /statsz percentile ring: with k < latencyRingCap samples the
+// digest must run over exactly the k observed values — a ring that
+// pre-sized its buffer to capacity would average in thousands of
+// phantom zero samples and crush every percentile toward 0 until the
+// first wrap. (Audited: the ring appends until capacity and only then
+// overwrites, so no zero-filled slot can ever be digested; this test
+// keeps that property from regressing.)
+func TestLatencyRingPartialFillPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, k := range []int{1, 2, 7, 100, latencyRingCap - 1} {
+		tr := newLatencyTracker()
+		want := make([]float64, 0, k)
+		for i := 0; i < k; i++ {
+			ns := int64(1e6 + rng.Intn(90_000_000)) // 1ms..91ms, all nonzero
+			want = append(want, float64(ns))
+			tr.observe("align", ns)
+		}
+		sum, ok := tr.summaries()["align"]
+		if !ok {
+			t.Fatalf("k=%d: endpoint missing from summaries", k)
+		}
+		if sum.Count != k {
+			t.Fatalf("k=%d: Count = %d", k, sum.Count)
+		}
+		for _, pc := range []struct {
+			p    float64
+			got  float64
+			name string
+		}{{50, sum.P50, "p50"}, {95, sum.P95, "p95"}, {99, sum.P99, "p99"}} {
+			ref := metrics.Percentile(append([]float64(nil), want...), pc.p)
+			if pc.got != ref {
+				t.Fatalf("k=%d: %s = %g, want %g (digest not over the observed samples)",
+					k, pc.name, pc.got, ref)
+			}
+			// The phantom-zero failure mode: with all samples ≥ 1ms, any
+			// zero-filled slot reaching the digest would drag the
+			// percentile to 0.
+			if pc.got < 1e6 {
+				t.Fatalf("k=%d: %s = %g below the sample floor — zero-filled slots digested", k, pc.name, pc.got)
+			}
+		}
+	}
+}
+
+// TestLatencyRingWrapKeepsNewest checks the overwrite-oldest contract
+// past capacity: after cap+m observations the digest covers the newest
+// cap samples (the first m are evicted) and Count keeps the lifetime
+// total.
+func TestLatencyRingWrapKeepsNewest(t *testing.T) {
+	tr := newLatencyTracker()
+	const extra = 10
+	total := latencyRingCap + extra
+	vals := make([]float64, total)
+	for i := 0; i < total; i++ {
+		v := int64(1e6 + i)
+		vals[i] = float64(v)
+		tr.observe("align", v)
+	}
+	sum := tr.summaries()["align"]
+	if sum.Count != total {
+		t.Fatalf("Count = %d, want lifetime total %d", sum.Count, total)
+	}
+	ref := metrics.Percentile(append([]float64(nil), vals[extra:]...), 50)
+	if sum.P50 != ref {
+		t.Fatalf("post-wrap p50 = %g, want %g over the newest %d samples", sum.P50, ref, latencyRingCap)
+	}
+}
