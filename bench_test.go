@@ -337,6 +337,15 @@ func BenchmarkMulticell(b *testing.B) {
 	benchsuite.BenchMulticell(b)
 }
 
+// BenchmarkScenario is the canonical regression-guarded mobility
+// benchmark (shared with cmd/benchdiff): a reduced two-speed trajectory
+// sweep of the cold and warm proposed schemes, reporting their
+// delivered/genie efficiency at the top speed. Compare against
+// BENCH_scenario.json with cmd/benchdiff.
+func BenchmarkScenario(b *testing.B) {
+	benchsuite.BenchScenario(b)
+}
+
 // BenchmarkEigHermitian64 measures the 64×64 Hermitian Jacobi
 // eigendecomposition, the inner kernel of every covariance estimation.
 func BenchmarkEigHermitian64(b *testing.B) {

@@ -62,6 +62,7 @@ import (
 	"mmwalign/internal/meas"
 	"mmwalign/internal/metrics"
 	"mmwalign/internal/obs"
+	"mmwalign/internal/scenario"
 	"mmwalign/internal/shard"
 )
 
@@ -107,6 +108,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workerID   = fs.String("worker-id", "", "compute this process's share of the -shard-dir sweep under the given worker ID")
 		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "shard lease heartbeat TTL: a cell whose lease is staler than this is stolen from its (presumed dead) worker")
 		merge      = fs.Bool("merge", false, "fold the -shard-dir worker journals into one checkpoint and generate the figure from it")
+		scen       = fs.Bool("scenario", false, "run the mobility scenario sweep instead of a static figure (writes scenario-time and scenario-speed CSVs)")
+		workers    = fs.Int("workers", 0, "bound concurrent cells (0 = GOMAXPROCS); results are invariant to the worker count")
+		speeds     = fs.String("speeds", "", "-scenario: comma-separated UE speeds in m/s (default 1,5,15,30)")
+		ues        = fs.Int("ues", 0, "-scenario: UE trajectories per speed point (default 4)")
+		frames     = fs.Int("frames", 0, "-scenario: superframe horizon per trajectory (default 40)")
+		motion     = fs.String("motion", "", "-scenario: trajectory model, waypoint, linear or random-walk (default waypoint)")
+		multipath  = fs.Bool("multipath", false, "-scenario: use the NYC clustered multipath channel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,11 +138,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer cancel()
 	}
 
-	if !*all && (*fig < 5 || *fig > 8) {
-		return fmt.Errorf("pass -fig 5..8 or -all")
-	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint <path>")
+	}
+
+	if *scen {
+		switch {
+		case *fig != 0 || *all:
+			return fmt.Errorf("-scenario is its own mode: drop -fig/-all")
+		case *shardDir != "" || *workerID != "" || *merge:
+			return fmt.Errorf("-scenario does not shard; use -checkpoint/-resume for crash safety")
+		case *inject != "":
+			return fmt.Errorf("-inject applies to the static figures only")
+		}
+		spd, err := parseSpeeds(*speeds)
+		if err != nil {
+			return err
+		}
+		scfg := scenario.Config{
+			Seed:      *seed,
+			UEs:       *ues,
+			Frames:    *frames,
+			SpeedsMPS: spd,
+			Motion:    *motion,
+			Multipath: *multipath,
+			GammaDB:   *gammaDB,
+			Snapshots: *snapshots,
+			J:         *j,
+			Mu:        *mu,
+			Workers:   *workers,
+		}
+		if *schemes != "" {
+			scfg.Schemes = splitComma(*schemes)
+		}
+		return runScenario(ctx, scenarioOpts{
+			cfg:        scfg,
+			out:        *out,
+			outdir:     *outdir,
+			checkpoint: *checkpoint,
+			resume:     *resume,
+			instrument: *instrument,
+			progress:   *progress,
+			counters:   *counters,
+			manifest:   *manifest,
+		}, stdout, stderr)
+	}
+
+	if !*all && (*fig < 5 || *fig > 8) {
+		return fmt.Errorf("pass -fig 5..8 or -all")
 	}
 	switch {
 	case *workerID != "" && *merge:
@@ -163,6 +214,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxFailedDrops: *maxFailed,
 		MaxRetries:     *retries,
 		RetryBackoff:   *retryWait,
+		Workers:        *workers,
 	}
 	if *schemes != "" {
 		cfg.Schemes = splitComma(*schemes)

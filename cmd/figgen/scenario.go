@@ -1,0 +1,179 @@
+package main
+
+// The -scenario mode: mobility sweeps through internal/scenario with
+// the same production substrate as the figure runs — checkpoint
+// journal, resume, run manifest, progress — emitting two CSVs
+// (throughput-vs-time and throughput-vs-speed) instead of one.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"mmwalign/internal/journal"
+	"mmwalign/internal/metrics"
+	"mmwalign/internal/obs"
+	"mmwalign/internal/scenario"
+)
+
+// scenarioOpts carries the flag values the scenario path consumes.
+type scenarioOpts struct {
+	cfg        scenario.Config
+	out        string
+	outdir     string
+	checkpoint string
+	resume     bool
+	instrument bool
+	progress   bool
+	counters   bool
+	manifest   bool
+}
+
+// parseSpeeds converts a comma-separated speed list to m/s values.
+func parseSpeeds(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range splitComma(spec) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-speeds: %q is not a non-negative speed", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runScenario executes the mobility sweep and writes its two CSVs, the
+// manifest, and the terminal tables.
+func runScenario(ctx context.Context, o scenarioOpts, stdout, stderr io.Writer) error {
+	sctx := ctx
+	var rec *obs.Recorder
+	if o.instrument {
+		rec = obs.New()
+		if o.progress {
+			rec.SetProgress(obs.ProgressPrinter(stderr, "scenario", time.Second))
+		}
+		if o.counters {
+			obs.Publish("figgen.scenario", rec)
+		}
+		sctx = obs.Into(ctx, rec)
+	}
+
+	var jpath string
+	if o.checkpoint != "" {
+		jpath = o.checkpoint
+		jnl, err := openScenarioJournal(jpath, o.cfg, o.resume, stderr)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		o.cfg.Journal = jnl
+	}
+
+	start := time.Now()
+	res, err := scenario.RunContext(sctx, o.cfg)
+	if err != nil {
+		if ctx.Err() != nil && jpath != "" {
+			fmt.Fprintf(stderr, "figgen: interrupted — resume with: figgen -scenario -seed %d -checkpoint %s -resume\n",
+				o.cfg.Seed, jpath)
+		}
+		return err
+	}
+
+	rc := o.cfg.WithDefaults()
+	fmt.Fprintf(stdout, "== scenario — %d speeds × %d UEs × %d schemes, %d frames, %v ==\n",
+		len(rc.SpeedsMPS), rc.UEs, len(rc.Schemes), rc.Frames, time.Since(start).Round(time.Millisecond))
+
+	timePath := o.out
+	if timePath == "" {
+		timePath = filepath.Join(o.outdir, res.Time.ID+".csv")
+	}
+	speedPath := siblingPath(timePath, res.Speed.ID)
+
+	for _, fig := range []struct {
+		f    scenario.Figure
+		path string
+	}{{res.Time, timePath}, {res.Speed, speedPath}} {
+		fmt.Fprintf(stdout, "-- %s (%s)\n", fig.f.ID, fig.f.Title)
+		if err := metrics.WriteTable(stdout, fig.f.XLabel, fig.f.Series); err != nil {
+			return err
+		}
+		if err := metrics.PlotASCII(stdout, fig.f.YLabel+" vs "+fig.f.XLabel, fig.f.Series, 64, 14); err != nil {
+			return err
+		}
+		fh, err := os.Create(fig.path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", fig.path, err)
+		}
+		err = metrics.WriteCSV(fh, fig.f.XLabel, fig.f.Series)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", fig.path, err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", fig.path)
+	}
+
+	if o.counters && rec != nil {
+		if err := rec.Snapshot().WriteText(stderr); err != nil {
+			return err
+		}
+	}
+
+	if o.manifest && res.Manifest != nil {
+		res.Manifest.Version = versionString()
+		res.Manifest.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		mpath := strings.TrimSuffix(timePath, filepath.Ext(timePath)) + ".manifest.json"
+		mf, err := os.Create(mpath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", mpath, err)
+		}
+		err = res.Manifest.WriteJSON(mf)
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", mpath, err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", mpath)
+	}
+	return nil
+}
+
+// siblingPath derives the second CSV's path from the first: the speed
+// figure lands next to the time figure under its own figure ID.
+func siblingPath(timePath, id string) string {
+	return filepath.Join(filepath.Dir(timePath), id+".csv")
+}
+
+// openScenarioJournal mirrors openJournal for the scenario figure ID.
+func openScenarioJournal(path string, cfg scenario.Config, resume bool, stderr io.Writer) (*journal.Journal, error) {
+	want := scenario.JournalHeader(cfg)
+	if resume {
+		if _, statErr := os.Stat(path); statErr == nil {
+			j, err := journal.Open(path, want)
+			if err != nil {
+				return nil, fmt.Errorf("resume %s: %w", path, err)
+			}
+			fmt.Fprintf(stderr, "figgen: resuming scenario from %s: %d of %d cells already complete\n",
+				path, j.Len(), want.Drops*len(want.Schemes))
+			return j, nil
+		} else if !errors.Is(statErr, os.ErrNotExist) {
+			return nil, fmt.Errorf("resume %s: %w", path, statErr)
+		}
+		fmt.Fprintf(stderr, "figgen: -resume: no journal at %s yet, starting fresh\n", path)
+	} else if _, statErr := os.Stat(path); statErr == nil {
+		fmt.Fprintf(stderr, "figgen: overwriting existing checkpoint %s (pass -resume to continue it)\n", path)
+	}
+	want.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	return journal.Create(path, want)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmwalign/internal/obs"
+)
+
+// tinyScenarioArgs is a sweep small enough for in-process CLI tests:
+// 2 speeds × 1 UE × 2 schemes over 4 superframes.
+func tinyScenarioArgs(outdir string) []string {
+	return []string{
+		"-scenario", "-seed", "3", "-ues", "1", "-frames", "4",
+		"-speeds", "2,20", "-schemes", "proposed,exhaustive",
+		"-progress=false", "-outdir", outdir,
+	}
+}
+
+// readScenarioCSVs returns the concatenated bytes of both scenario
+// CSVs, the unit the byte-identity guarantees are stated over.
+func readScenarioCSVs(t *testing.T, dir string) []byte {
+	t.Helper()
+	var all []byte
+	for _, name := range []string{"scenario-time.csv", "scenario-speed.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("scenario CSV missing: %v", err)
+		}
+		all = append(all, data...)
+	}
+	return all
+}
+
+func TestScenarioCLIWritesFiguresAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run(tinyScenarioArgs(dir), &stdout, &stderr); err != nil {
+		t.Fatalf("scenario run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if got := readScenarioCSVs(t, dir); len(got) == 0 {
+		t.Fatal("empty scenario CSVs")
+	}
+	// Both figures and their output paths are announced on stdout.
+	for _, want := range []string{"scenario-time", "scenario-speed", "wrote"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout.String())
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scenario-time.manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m.Figure != "scenario" || !m.Instrumented {
+		t.Errorf("manifest figure %q instrumented %v, want scenario/true", m.Figure, m.Instrumented)
+	}
+	if m.Counters["scenario_realigns"] == 0 {
+		t.Errorf("manifest records no realignments: %v", m.Counters)
+	}
+	if m.Version == "" || m.CreatedAt == "" {
+		t.Errorf("manifest missing version/timestamp stamps: %+v", m)
+	}
+}
+
+// The CLI path must preserve the engine's worker-count invariance:
+// -workers 1 and -workers 8 render byte-identical CSVs.
+func TestScenarioCLIWorkerInvariance(t *testing.T) {
+	dir1, dir8 := t.TempDir(), t.TempDir()
+	var sink bytes.Buffer
+	if err := run(append(tinyScenarioArgs(dir1), "-workers", "1"), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(tinyScenarioArgs(dir8), "-workers", "8"), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	b1, b8 := readScenarioCSVs(t, dir1), readScenarioCSVs(t, dir8)
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("-workers 1 and -workers 8 CSVs differ:\n--- w1\n%s\n--- w8\n%s", b1, b8)
+	}
+}
+
+func TestScenarioCLIFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "-fig", "5"},
+		{"-scenario", "-all"},
+		{"-scenario", "-shard-dir", "x", "-worker-id", "w1"},
+		{"-scenario", "-inject", "nan=0.5"},
+		{"-scenario", "-speeds", "fast"},
+		{"-scenario", "-speeds", "-3"},
+	}
+	for _, args := range cases {
+		var sink bytes.Buffer
+		if err := run(args, &sink, &sink); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -58,7 +58,7 @@ func ForScheme(name string, rxBook *antenna.Codebook, spec SchemeSpec) (Strategy
 		return ScanStrategy{}, nil
 	case "exhaustive":
 		return ExhaustiveStrategy{}, nil
-	case "proposed", "two-sided":
+	case "proposed", "proposed-warm", "two-sided":
 		spec = spec.withDefaults()
 		cfg := ProposedConfig{
 			J:          spec.J,
@@ -72,6 +72,17 @@ func ForScheme(name string, rxBook *antenna.Codebook, spec SchemeSpec) (Strategy
 		}
 		if name == "two-sided" {
 			return NewTwoSided(cfg), nil
+		}
+		if name == "proposed-warm" {
+			// A fresh WarmState per construction: the returned strategy
+			// is stateful (it carries Q̂ across runs) and therefore owned
+			// by one link — callers running cells concurrently must
+			// construct one per cell, which every engine in this repo
+			// already does.
+			cfg.Warm = &WarmState{}
+			st := NewProposed(cfg)
+			st.name = "proposed-warm"
+			return st, nil
 		}
 		return NewProposed(cfg), nil
 	case "hierarchical":
@@ -88,5 +99,5 @@ func ForScheme(name string, rxBook *antenna.Codebook, spec SchemeSpec) (Strategy
 // SchemeNames lists every name ForScheme accepts, in presentation
 // order.
 func SchemeNames() []string {
-	return []string{"proposed", "random", "scan", "exhaustive", "hierarchical", "two-sided", "local-refine", "digital"}
+	return []string{"proposed", "proposed-warm", "random", "scan", "exhaustive", "hierarchical", "two-sided", "local-refine", "digital"}
 }

@@ -12,6 +12,21 @@ import (
 	runobs "mmwalign/internal/obs"
 )
 
+// WarmState carries the covariance estimate Q̂ across alignments of the
+// same link. A strategy configured with a WarmState seeds its first
+// estimation from the previous alignment's final Q̂ instead of starting
+// blind, and writes its own final estimate back when it finishes —
+// tracking-aware behavior for mobility scenarios where the channel at
+// realignment k+1 is a perturbation of the channel at realignment k.
+// The zero value is a valid cold start. A WarmState ties its strategy
+// to one link: strategies sharing a WarmState must not run
+// concurrently.
+type WarmState struct {
+	// Q is the carried-over estimate; nil until the first alignment
+	// completes with a usable estimate.
+	Q *cmat.Matrix
+}
+
 // ProposedConfig configures the paper's learning-based strategy.
 type ProposedConfig struct {
 	// J is the number of RX measurements per TX slot (the paper's J).
@@ -29,6 +44,9 @@ type ProposedConfig struct {
 	// have accumulated, overriding Estimator.Mu. Adds one estimation per
 	// grid entry at selection time.
 	AutoMuGrid []float64
+	// Warm, when non-nil, carries Q̂ across successive alignments of the
+	// same link (see WarmState). nil keeps the strategy stateless.
+	Warm *WarmState
 }
 
 func (c ProposedConfig) withDefaults() ProposedConfig {
@@ -54,6 +72,10 @@ func (c ProposedConfig) withDefaults() ProposedConfig {
 // is the pair with the best measured SNR, Eq. (30).
 type ProposedStrategy struct {
 	cfg ProposedConfig
+	// name overrides the reported scheme name when non-empty (the
+	// warm-start variant constructed by ForScheme reports
+	// "proposed-warm" so figures can show both behaviors side by side).
+	name string
 }
 
 // NewProposed creates the strategy with the given configuration.
@@ -62,7 +84,12 @@ func NewProposed(cfg ProposedConfig) *ProposedStrategy {
 }
 
 // Name implements Strategy.
-func (s *ProposedStrategy) Name() string { return "proposed" }
+func (s *ProposedStrategy) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	return "proposed"
+}
 
 // Run implements Strategy.
 func (s *ProposedStrategy) Run(env *Env, budget int) ([]meas.Measurement, error) {
@@ -105,6 +132,18 @@ func (s *ProposedStrategy) RunContext(ctx context.Context, env *Env, budget int)
 	var out []meas.Measurement
 	var obs []covest.Observation
 	var qhat *cmat.Matrix
+	if s.cfg.Warm != nil {
+		// Seed from the previous alignment's estimate (nil on a cold
+		// start) and carry whatever this run learned back out on every
+		// exit path — including graceful scan degradation, where the
+		// last good estimate is still the best knowledge of the link.
+		qhat = s.cfg.Warm.Q
+		defer func() {
+			if qhat != nil && qhat != s.cfg.Warm.Q {
+				s.cfg.Warm.Q = qhat.Clone()
+			}
+		}()
+	}
 
 	// Random TX visiting order, cycled if the budget outlasts one pass.
 	txOrder := env.Src.Perm(env.TXBook.Size())

@@ -1,0 +1,91 @@
+package align
+
+import (
+	"testing"
+
+	"mmwalign/internal/antenna"
+)
+
+// The warm-start variant must carry its covariance estimate across
+// successive Run calls: nil before the first alignment, populated
+// after, and the stored matrix must be an independent copy so later
+// runs cannot corrupt an estimate a caller is still reading.
+func TestProposedWarmCarriesEstimate(t *testing.T) {
+	env := testEnv(t, 11, 1, false)
+	st, err := ForScheme("proposed-warm", env.RXBook, SchemeSpec{J: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() != "proposed-warm" {
+		t.Fatalf("Name() = %q, want proposed-warm", st.Name())
+	}
+	ps, ok := st.(*ProposedStrategy)
+	if !ok {
+		t.Fatalf("proposed-warm is %T, want *ProposedStrategy", st)
+	}
+	if ps.cfg.Warm == nil {
+		t.Fatal("proposed-warm constructed without a WarmState")
+	}
+	if ps.cfg.Warm.Q != nil {
+		t.Fatal("WarmState.Q non-nil before any alignment")
+	}
+
+	ms, err := st.Run(env, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 48 {
+		t.Fatalf("first run took %d measurements, want 48", len(ms))
+	}
+	q1 := ps.cfg.Warm.Q
+	if q1 == nil {
+		t.Fatal("WarmState.Q still nil after a full alignment")
+	}
+
+	// A second alignment on the same link must seed from q1 and store a
+	// fresh copy, never mutate q1 in place.
+	q1Copy := q1.Clone()
+	if _, err := st.Run(env, 48); err != nil {
+		t.Fatal(err)
+	}
+	q2 := ps.cfg.Warm.Q
+	if q2 == nil {
+		t.Fatal("WarmState.Q nil after second alignment")
+	}
+	if q2 == q1 {
+		t.Fatal("second alignment did not refresh WarmState.Q")
+	}
+	for i := 0; i < q1.Rows(); i++ {
+		for j := 0; j < q1.Cols(); j++ {
+			if q1.At(i, j) != q1Copy.At(i, j) {
+				t.Fatalf("first estimate mutated at (%d,%d) by second run", i, j)
+			}
+		}
+	}
+}
+
+// Cold proposed must stay stateless: no WarmState, identical fixed-seed
+// trajectories before and after the warm variant was introduced.
+func TestProposedColdStaysStateless(t *testing.T) {
+	env := testEnv(t, 12, 1, false)
+	st, err := ForScheme("proposed", env.RXBook, SchemeSpec{J: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() != "proposed" {
+		t.Fatalf("Name() = %q, want proposed", st.Name())
+	}
+	if ps := st.(*ProposedStrategy); ps.cfg.Warm != nil {
+		t.Fatal("cold proposed carries a WarmState")
+	}
+}
+
+// Every published scheme name must construct.
+func TestForSchemeCoversAllNames(t *testing.T) {
+	rx := antenna.NewGridCodebook(antenna.NewUPA(4, 4), 4, 4, 3.14, 1.57)
+	for _, name := range SchemeNames() {
+		if _, err := ForScheme(name, rx, SchemeSpec{}); err != nil {
+			t.Errorf("ForScheme(%q): %v", name, err)
+		}
+	}
+}

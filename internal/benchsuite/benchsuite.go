@@ -17,6 +17,7 @@ import (
 	"mmwalign/internal/covest"
 	"mmwalign/internal/experiment"
 	"mmwalign/internal/rng"
+	"mmwalign/internal/scenario"
 )
 
 // Workload is one named benchmark: Func drives a testing.B loop,
@@ -63,6 +64,11 @@ func All() []Workload {
 			Name: "multicell",
 			Desc: "Fig. 5 proposed-only regeneration through the cross-cell batched GEMM engine (8 workers)",
 			Func: BenchMulticell,
+		},
+		{
+			Name: "scenario",
+			Desc: "mobility scenario sweep (2 speeds x 1 UE x 8 superframes, cold and warm proposed) with effective-throughput fidelity",
+			Func: BenchScenario,
 		},
 		{
 			Name: "fig5",
@@ -277,6 +283,42 @@ func BenchMulticell(b *testing.B) {
 		}
 	}
 	b.ReportMetric(m, "loss_dB")
+}
+
+// ScenarioConfig is the reduced mobility workload: one UE per speed at
+// 5 and 20 m/s over 8 superframes, running the cold and warm proposed
+// schemes — the trajectory engine's hot path (periodic re-alignment,
+// oracle scoring, channel evolution) at benchmark size.
+func ScenarioConfig() scenario.Config {
+	return scenario.Config{
+		Seed:      1,
+		UEs:       1,
+		Frames:    8,
+		SpeedsMPS: []float64{5, 20},
+		Schemes:   []string{"proposed", "proposed-warm"},
+		Workers:   2,
+	}
+}
+
+// BenchScenario measures the mobility sweep. The sweep is
+// deterministic, so the delivered/genie efficiencies of the cold and
+// warm proposed schemes at the top speed are exact fidelity metrics.
+func BenchScenario(b *testing.B) {
+	b.ReportAllocs()
+	var res scenario.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = scenario.Run(ScenarioConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := map[string]string{"proposed": "eff_cold", "proposed-warm": "eff_warm"}
+	for _, s := range res.Speed.Series {
+		if metric, ok := names[s.Name]; ok && len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], metric)
+		}
+	}
 }
 
 // FigureConfig is the reduced-size figure configuration used by the

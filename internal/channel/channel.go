@@ -227,6 +227,37 @@ func (c *Channel) Drift(src *rng.Source, sigmaRad float64) {
 	}
 }
 
+// Rotate applies a deterministic bearing change to every path: dAz and
+// dEl (radians) shift the arrival and departure angles in opposite
+// senses, modeling the geometric rotation of the BS→UE line as the UE
+// moves laterally — when the terminal shifts one way, arrivals swing
+// with the bearing while departures swing against it. Angles clamp to
+// the same visible-hemisphere limits as Drift and the cached steering
+// vectors are rebuilt. Unlike Drift this consumes no randomness: the
+// trajectory engine derives (dAz, dEl) from UE kinematics so identical
+// motion yields identical channels regardless of scheme or worker
+// interleaving.
+func (c *Channel) Rotate(dAz, dEl float64) {
+	clamp := func(a, lim float64) float64 {
+		if a > lim {
+			return lim
+		}
+		if a < -lim {
+			return -lim
+		}
+		return a
+	}
+	for i := range c.Paths {
+		p := &c.Paths[i]
+		p.AoA.Az = clamp(p.AoA.Az+dAz, math.Pi/2)
+		p.AoA.El = clamp(p.AoA.El+dEl, math.Pi/4)
+		p.AoD.Az = clamp(p.AoD.Az-dAz, math.Pi/2)
+		p.AoD.El = clamp(p.AoD.El-dEl, math.Pi/4)
+		c.aTX[i] = c.TX.Steering(p.AoD)
+		c.aRX[i] = c.RX.Steering(p.AoA)
+	}
+}
+
 // DominantPaths returns the indices of paths carrying at least frac of
 // the total power, strongest first. Useful for characterizing how many
 // clusters dominate a drop.

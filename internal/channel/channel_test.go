@@ -286,6 +286,57 @@ func TestDriftClampsToVisibleRegion(t *testing.T) {
 	}
 }
 
+func TestRotateDeterministicAndClamped(t *testing.T) {
+	ch := singlePathFixture(t, 30)
+	before := ch.Paths[0]
+	u := ch.TX.Steering(before.AoD)
+	v := ch.RX.Steering(before.AoA)
+	gainBefore := ch.MeanPairGain(u, v)
+
+	ch.Rotate(0.05, 0.01)
+	p := ch.Paths[0]
+	if math.Abs(p.AoA.Az-(before.AoA.Az+0.05)) > 1e-15 || math.Abs(p.AoD.Az-(before.AoD.Az-0.05)) > 1e-15 {
+		t.Errorf("azimuth rotation wrong: AoA %v AoD %v from %v/%v", p.AoA, p.AoD, before.AoA, before.AoD)
+	}
+	if math.Abs(p.AoA.El-(before.AoA.El+0.01)) > 1e-15 || math.Abs(p.AoD.El-(before.AoD.El-0.01)) > 1e-15 {
+		t.Errorf("elevation rotation wrong: AoA %v AoD %v", p.AoA, p.AoD)
+	}
+	// Steering caches must follow the geometry: stale beams lose gain.
+	if gainAfter := ch.MeanPairGain(u, v); gainAfter >= gainBefore {
+		t.Errorf("stale beam gain %g did not degrade from %g after rotation", gainAfter, gainBefore)
+	}
+	// Total power is untouched.
+	var total float64
+	for _, pp := range ch.Paths {
+		total += pp.Power
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("rotation changed total power to %g", total)
+	}
+
+	// Two channels from the same seed rotated identically stay
+	// identical — Rotate consumes no randomness.
+	a := singlePathFixture(t, 31)
+	b := singlePathFixture(t, 31)
+	for i := 0; i < 10; i++ {
+		a.Rotate(0.02, -0.005)
+		b.Rotate(0.02, -0.005)
+	}
+	if a.Paths[0] != b.Paths[0] {
+		t.Errorf("identical rotations diverged: %+v vs %+v", a.Paths[0], b.Paths[0])
+	}
+
+	// Sustained rotation clamps to the visible hemisphere.
+	for i := 0; i < 200; i++ {
+		a.Rotate(0.5, 0.25)
+	}
+	pp := a.Paths[0]
+	if math.Abs(pp.AoA.Az) > math.Pi/2 || math.Abs(pp.AoA.El) > math.Pi/4 ||
+		math.Abs(pp.AoD.Az) > math.Pi/2 || math.Abs(pp.AoD.El) > math.Pi/4 {
+		t.Fatalf("rotation escaped clamp: %+v", pp)
+	}
+}
+
 func TestDominantPaths(t *testing.T) {
 	tx, rx := testArrays()
 	ch, err := New(tx, rx, []Path{

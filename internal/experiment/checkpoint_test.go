@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"mmwalign/internal/align"
 	"mmwalign/internal/faultinject"
@@ -353,5 +354,42 @@ func TestRetryDelayCapped(t *testing.T) {
 	}
 	if d1, d2 := retryDelay(1, 1), retryDelay(1, 2); d2 != 2*d1 {
 		t.Errorf("delays not doubling: %v then %v", d1, d2)
+	}
+}
+
+func TestRetryDelayOverflow(t *testing.T) {
+	const maxDelay = time.Duration(math.MaxInt64)
+	cases := []struct {
+		name    string
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{"doubling-0", time.Millisecond, 0, time.Millisecond},
+		{"doubling-1", time.Millisecond, 1, 2 * time.Millisecond},
+		{"doubling-5", time.Millisecond, 5, 32 * time.Millisecond},
+		{"small-base-5s-cap", time.Second, 30, 5 * time.Second},
+		// 2^63·base overflows int64 for any positive base: the shift
+		// count must be bounded, not wrapped through the sign bit.
+		{"attempt-63", time.Nanosecond, 63, 100 * time.Nanosecond},
+		{"attempt-64", time.Nanosecond, 64, 100 * time.Nanosecond},
+		{"attempt-1000", time.Nanosecond, 1000, 100 * time.Nanosecond},
+		// 100·base wraps int64 when base > MaxInt64/100; the cap must
+		// saturate instead of going negative.
+		{"base-near-max", maxDelay - 1, 0, maxDelay - 1},
+		{"base-near-max-retry", maxDelay - 1, 5, maxDelay},
+		{"base-near-max-attempt-63", maxDelay - 1, 63, maxDelay},
+		{"base-just-over-cap-limit", maxDelay/100 + 1, 10, maxDelay},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryDelay(tc.base, tc.attempt)
+			if got < 0 {
+				t.Fatalf("retryDelay(%v, %d) = %v, negative (overflow)", tc.base, tc.attempt, got)
+			}
+			if got != tc.want {
+				t.Errorf("retryDelay(%v, %d) = %v, want %v", tc.base, tc.attempt, got, tc.want)
+			}
+		})
 	}
 }

@@ -449,21 +449,36 @@ func runCellAttempt(ctx context.Context, cfg Config, root *rng.Source, drop int,
 
 // retryDelay returns the capped exponential backoff before retry
 // number attempt (0-based): base, 2·base, 4·base, … capped at 100×
-// base, or at 5s when retries are configured with no base.
+// base, or at 5s when retries are configured with no base. Every step
+// is overflow-guarded: 100·base can wrap int64 for a pathological
+// base, and doubling past attempt 62 shifts through the sign bit —
+// both used to surface as negative (i.e. zero) delays, so the cap is
+// computed saturating and the exponent is bounded before any multiply.
 func retryDelay(base time.Duration, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}
-	cap := 100 * base
+	const maxDelay = time.Duration(math.MaxInt64)
+	cap := maxDelay
+	if base <= maxDelay/100 {
+		cap = 100 * base
+	}
 	if cap > 5*time.Second && base <= 5*time.Second {
 		cap = 5 * time.Second
 	}
+	// 2^attempt·base with attempt ≥ 63 exceeds int64 for any positive
+	// base; saturate at the cap without shifting at all.
+	if attempt >= 63 {
+		return cap
+	}
 	d := base
 	for i := 0; i < attempt; i++ {
-		d *= 2
-		if d >= cap {
+		if d > cap/2 {
+			// The next doubling would pass the cap (or wrap); the
+			// backoff has saturated.
 			return cap
 		}
+		d *= 2
 	}
 	if d > cap {
 		return cap

@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -134,7 +135,7 @@ func RunCellSearch(cfg CellSearchConfig) (CellSearchResult, error) {
 		if err != nil {
 			return CellSearchResult{}, fmt.Errorf("mac: cell search BS %d: %w", b, err)
 		}
-		tr, _, err := alignOnce(cfg.Link, ch, gamma,
+		tr, _, err := alignOnce(context.Background(), cfg.Link, ch, gamma,
 			root.SplitIndexed("noise", b), root.SplitIndexed("strategy", b), cfg.BudgetPerBS)
 		if err != nil {
 			return CellSearchResult{}, fmt.Errorf("mac: cell search BS %d: %w", b, err)

@@ -1,0 +1,80 @@
+package mac
+
+// Cancellation tests mirroring the experiment engine's drain-on-cancel
+// idiom: a cancelled MAC simulation must return context.Canceled
+// promptly and leave no goroutines behind, so the scenario engine can
+// abort long mobility runs mid-trajectory without leaks.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// drainHarness runs fn under a context cancelled mid-flight and asserts
+// a clean context.Canceled return plus goroutine drain to baseline.
+func drainHarness(t *testing.T, fn func(ctx context.Context) error) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fn(ctx) }()
+
+	// Let the run get past setup, then pull the plug.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return within 10s")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestRunTrackerContextCancelDrains(t *testing.T) {
+	drainHarness(t, func(ctx context.Context) error {
+		_, err := RunTrackerContext(ctx, TrackerConfig{
+			Superframes: 10_000,
+			Seed:        41,
+		})
+		return err
+	})
+}
+
+func TestRunSuperframesContextCancelDrains(t *testing.T) {
+	drainHarness(t, func(ctx context.Context) error {
+		_, err := RunSuperframesContext(ctx, SuperframeConfig{
+			Superframes: 10_000,
+			Seed:        42,
+		})
+		return err
+	})
+}
+
+// An already-cancelled context must fail before any superframe runs.
+func TestRunTrackerContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := RunTrackerContext(ctx, TrackerConfig{Superframes: 3, Seed: 43})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(stats.Frames) != 0 {
+		t.Fatalf("pre-cancelled run produced %d frames", len(stats.Frames))
+	}
+}

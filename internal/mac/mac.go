@@ -15,6 +15,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -135,7 +136,8 @@ func (c LinkConfig) newChannel(src *rng.Source, tx, rx antenna.Array) (*channel.
 
 // alignOnce runs one training phase on the given channel and returns the
 // selected pair with its true SNR, plus the oracle SNR for reference.
-func alignOnce(cfg LinkConfig, ch *channel.Channel, gamma float64, noise, strat *rng.Source, budget int) (align.Trajectory, *align.Env, error) {
+// Cancelling ctx stops the training at the next measurement boundary.
+func alignOnce(ctx context.Context, cfg LinkConfig, ch *channel.Channel, gamma float64, noise, strat *rng.Source, budget int) (align.Trajectory, *align.Env, error) {
 	_, _, txBook, rxBook := cfg.books()
 	sounder, err := meas.NewSounder(ch, gamma, noise)
 	if err != nil {
@@ -147,7 +149,7 @@ func alignOnce(cfg LinkConfig, ch *channel.Channel, gamma float64, noise, strat 
 	if err != nil {
 		return align.Trajectory{}, nil, err
 	}
-	tr, err := align.Evaluate(env, s, budget)
+	tr, err := align.EvaluateContext(ctx, env, s, budget)
 	if err != nil {
 		return align.Trajectory{}, nil, err
 	}

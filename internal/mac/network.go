@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -128,7 +129,7 @@ func RunNetwork(cfg NetworkConfig) (NetworkStats, error) {
 		selSNR := make([]float64, cfg.NumUEs)
 		optSNR := make([]float64, cfg.NumUEs)
 		for u := 0; u < cfg.NumUEs; u++ {
-			tr, _, err := alignOnce(cfg.Link, channels[u], gamma,
+			tr, _, err := alignOnce(context.Background(), cfg.Link, channels[u], gamma,
 				root.SplitIndexed(fmt.Sprintf("noise-%d", u), f),
 				root.SplitIndexed(fmt.Sprintf("strategy-%d", u), f),
 				cfg.TrainSlotsPerUE)

@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -94,6 +95,14 @@ type SuperframeStats struct {
 
 // RunSuperframes executes the superframe simulation.
 func RunSuperframes(cfg SuperframeConfig) (SuperframeStats, error) {
+	return RunSuperframesContext(context.Background(), cfg)
+}
+
+// RunSuperframesContext is RunSuperframes with cooperative
+// cancellation: the simulation stops cleanly at the next superframe or
+// measurement boundary when ctx is cancelled, returning the context's
+// error.
+func RunSuperframesContext(ctx context.Context, cfg SuperframeConfig) (SuperframeStats, error) {
 	cfg = cfg.withDefaults()
 	if cfg.TrainSlots < 1 {
 		return SuperframeStats{}, fmt.Errorf("mac: TrainSlots %d must be positive", cfg.TrainSlots)
@@ -130,12 +139,15 @@ func RunSuperframes(cfg SuperframeConfig) (SuperframeStats, error) {
 	var sumLoss, sumBits, sumGenie float64
 	totalSlots := float64(cfg.TrainSlots + cfg.DataSlots)
 	for f := 0; f < cfg.Superframes; f++ {
+		if err := ctx.Err(); err != nil {
+			return SuperframeStats{}, err
+		}
 		blockedClusters := 0
 		if blocker != nil {
 			blocker.Step(blockSrc)
 			blockedClusters = blocker.BlockedCount()
 		}
-		tr, env, err := alignOnce(link, ch, gamma,
+		tr, env, err := alignOnce(ctx, link, ch, gamma,
 			root.SplitIndexed("noise", f), root.SplitIndexed("strategy", f), cfg.TrainSlots)
 		if err != nil {
 			return SuperframeStats{}, fmt.Errorf("mac: superframe %d: %w", f, err)

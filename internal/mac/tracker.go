@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -96,6 +97,15 @@ type TrackerStats struct {
 
 // RunTracker executes the tracking simulation.
 func RunTracker(cfg TrackerConfig) (TrackerStats, error) {
+	return RunTrackerContext(context.Background(), cfg)
+}
+
+// RunTrackerContext is RunTracker with cooperative cancellation: the
+// simulation stops cleanly at the next superframe or alignment boundary
+// when ctx is cancelled, returning the context's error. Cancellation
+// mid-trajectory is how the scenario engine aborts long mobility runs
+// without leaking goroutines.
+func RunTrackerContext(ctx context.Context, cfg TrackerConfig) (TrackerStats, error) {
 	cfg = cfg.withDefaults()
 	if cfg.TrackSlots < 1 || cfg.FullTrainSlots < 1 || cfg.SlotBudget <= cfg.FullTrainSlots {
 		return TrackerStats{}, fmt.Errorf("mac: tracker slots invalid: budget %d, full %d, track %d",
@@ -136,6 +146,9 @@ func RunTracker(cfg TrackerConfig) (TrackerStats, error) {
 	needFull := true
 
 	for f := 0; f < cfg.Superframes; f++ {
+		if err := ctx.Err(); err != nil {
+			return TrackerStats{}, err
+		}
 		blockedClusters := 0
 		if blocker != nil {
 			blocker.Step(blockSrc)
@@ -157,7 +170,7 @@ func RunTracker(cfg TrackerConfig) (TrackerStats, error) {
 			if err != nil {
 				return TrackerStats{}, err
 			}
-			tr, err := align.Evaluate(env, strat, cfg.FullTrainSlots)
+			tr, err := align.EvaluateContext(ctx, env, strat, cfg.FullTrainSlots)
 			if err != nil {
 				return TrackerStats{}, fmt.Errorf("mac: tracker frame %d: %w", f, err)
 			}

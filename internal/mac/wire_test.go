@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -210,7 +211,7 @@ func TestTraceAlignmentEndToEnd(t *testing.T) {
 		if err != nil {
 			return align.Trajectory{}, nil, err
 		}
-		return alignOnce(link, ch, 1, rng.New(92), rng.New(93), 16)
+		return alignOnce(context.Background(), link, ch, 1, rng.New(92), rng.New(93), 16)
 	}()
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -152,13 +153,21 @@ type Progress struct {
 }
 
 // ETA extrapolates the remaining wall-clock time from the completion
-// fraction (0 when nothing has completed yet).
+// fraction (0 when nothing has completed yet). The extrapolation is
+// computed in float64 and clamped to MaxInt64: a day-scale Elapsed with
+// one cell done out of millions can exceed what time.Duration holds,
+// and a float→int64 conversion that overflows is implementation-defined
+// in Go (historically surfacing as a negative ETA).
 func (p Progress) ETA() time.Duration {
 	if p.Done <= 0 || p.Total <= p.Done {
 		return 0
 	}
 	per := float64(p.Elapsed) / float64(p.Done)
-	return time.Duration(per * float64(p.Total-p.Done))
+	eta := per * float64(p.Total-p.Done)
+	if eta >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(eta)
 }
 
 // Recorder collects phases, counters, solver aggregates and progress

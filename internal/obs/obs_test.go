@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -103,6 +104,30 @@ func TestProgressETA(t *testing.T) {
 	}
 	if eta := (Progress{Done: 10, Total: 10, Elapsed: time.Second}).ETA(); eta != 0 {
 		t.Errorf("ETA when complete = %v, want 0", eta)
+	}
+}
+
+// TestProgressETAOverflowClamps pins the long-running-sweep regression:
+// a day-scale Elapsed with one cell done and a huge remainder used to
+// overflow the Duration extrapolation (implementation-defined float→
+// int64 conversion, observed as a negative ETA). The clamp must keep
+// the estimate at MaxInt64 — "effectively forever", but ordered and
+// non-negative.
+func TestProgressETAOverflowClamps(t *testing.T) {
+	day := 24 * time.Hour
+	p := Progress{Done: 1, Total: 1 << 40, Elapsed: day}
+	eta := p.ETA()
+	if eta < 0 {
+		t.Fatalf("ETA overflowed negative: %v", eta)
+	}
+	if eta != time.Duration(math.MaxInt64) {
+		t.Errorf("ETA = %v, want MaxInt64 clamp", eta)
+	}
+	// Large but representable extrapolations must still be exact: a
+	// week-scale run at 10%% done has an in-range ETA.
+	p = Progress{Done: 100, Total: 1000, Elapsed: 7 * day}
+	if eta := p.ETA(); eta != 63*day {
+		t.Errorf("ETA = %v, want %v", eta, 63*day)
 	}
 }
 

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"math"
+
+	"mmwalign/internal/rng"
+)
+
+// Motion model names accepted by Config.Motion.
+const (
+	MotionWaypoint   = "waypoint"
+	MotionLinear     = "linear"
+	MotionRandomWalk = "random-walk"
+)
+
+// mover tracks one UE's kinematics in the BS-centered plane (meters,
+// BS at the origin). All randomness flows through the motion source
+// handed to step, so a mover replayed from the same split produces the
+// same trajectory regardless of scheme or worker interleaving.
+type mover struct {
+	model   string
+	rangeM  float64
+	x, y    float64 // position
+	heading float64 // rad; linear and random-walk
+	wx, wy  float64 // current waypoint; waypoint model only
+}
+
+// newMover places the UE at the nominal cell range on a random bearing
+// and primes the model-specific state.
+func newMover(src *rng.Source, model string, rangeM float64) *mover {
+	m := &mover{model: model, rangeM: rangeM}
+	bearing := src.Uniform(-math.Pi/3, math.Pi/3)
+	m.x = rangeM * math.Cos(bearing)
+	m.y = rangeM * math.Sin(bearing)
+	m.heading = src.Uniform(-math.Pi, math.Pi)
+	m.pickWaypoint(src)
+	return m
+}
+
+// pickWaypoint draws the next destination: uniform over the annulus
+// [R/2, 3R/2] within the ±60° service sector.
+func (m *mover) pickWaypoint(src *rng.Source) {
+	r := src.Uniform(0.5*m.rangeM, 1.5*m.rangeM)
+	a := src.Uniform(-math.Pi/3, math.Pi/3)
+	m.wx = r * math.Cos(a)
+	m.wy = r * math.Sin(a)
+}
+
+// step advances the UE by dist meters under its motion model. The
+// random draws per call are model-dependent but frame-deterministic:
+// waypoint consumes randomness only on arrival, random-walk one normal
+// per call, linear none.
+func (m *mover) step(src *rng.Source, dist float64) {
+	switch m.model {
+	case MotionLinear:
+		m.x += dist * math.Cos(m.heading)
+		m.y += dist * math.Sin(m.heading)
+	case MotionRandomWalk:
+		m.heading += src.NormalScaled(0, 0.3)
+		m.x += dist * math.Cos(m.heading)
+		m.y += dist * math.Sin(m.heading)
+	default: // waypoint
+		for dist > 0 {
+			dx, dy := m.wx-m.x, m.wy-m.y
+			gap := math.Hypot(dx, dy)
+			if gap <= dist {
+				// Arrive and spend the leftover distance toward a fresh
+				// destination. A degenerate draw onto the current
+				// position re-rolls next iteration (measure zero under
+				// the continuous waypoint distribution).
+				m.x, m.y = m.wx, m.wy
+				dist -= gap
+				m.pickWaypoint(src)
+				continue
+			}
+			m.x += dist / gap * dx
+			m.y += dist / gap * dy
+			dist = 0
+		}
+	}
+}
+
+// distance returns the BS→UE range, floored at 1 m so the path-loss
+// term stays finite when a trajectory crosses the site.
+func (m *mover) distance() float64 {
+	d := math.Hypot(m.x, m.y)
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// bearing returns the BS→UE azimuth.
+func (m *mover) bearing() float64 { return math.Atan2(m.y, m.x) }
+
+// elevation returns the depression angle from a BS of the given height
+// down to the UE.
+func elevation(heightM, distM float64) float64 {
+	return math.Atan2(heightM, distM)
+}
+
+// angleDelta returns the wrapped difference a-b in (-π, π].
+func angleDelta(a, b float64) float64 {
+	d := a - b
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
