@@ -270,8 +270,36 @@ type ServerConfig struct {
 	// DefaultTimeout is the per-request deadline when the request does
 	// not carry its own timeout_ms (default 10s).
 	DefaultTimeout time.Duration
-	// RetryAfterSeconds is the Retry-After hint on 503s (default 1).
+	// MaxTimeout caps a request-supplied timeout_ms (default 60s).
+	MaxTimeout time.Duration
+	// RetryAfterSeconds is the floor for the Retry-After hint on
+	// backpressure responses (default 1); the live hint scales with the
+	// observed queue drain time.
 	RetryAfterSeconds int
+
+	// RateLimitPerSec enables per-client token-bucket rate limiting
+	// (429 + Retry-After) at this sustained rate; 0 disables. Clients
+	// are keyed by the X-Client-ID header, falling back to remote host.
+	RateLimitPerSec float64
+	// RateLimitBurst is the bucket capacity (default ceil of the rate).
+	RateLimitBurst int
+	// BreakerThreshold is how many consecutive estimation failures on
+	// one estimator spec trip its circuit breaker, short-circuiting to
+	// the scan-order fallback (default 5; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit wait before a half-open probe
+	// (default 5s).
+	BreakerCooldown time.Duration
+	// BrownoutQueueFrac is the queue-occupancy fraction that arms
+	// brown-out degraded mode: under sustained pressure /v1/align
+	// transparently serves scan-order responses marked "degraded": true
+	// instead of 503ing (default 0.75; negative disables).
+	BrownoutQueueFrac float64
+	// BrownoutAfter / BrownoutRecover are the sustained-pressure and
+	// sustained-quiet windows for entering and leaving brown-out
+	// (default 2s each).
+	BrownoutAfter   time.Duration
+	BrownoutRecover time.Duration
 }
 
 // NewAlignHandler returns an http.Handler serving the beam-alignment
@@ -286,7 +314,15 @@ func NewAlignHandler(cfg ServerConfig) (http.Handler, func(context.Context) erro
 		MaxConcurrent:     cfg.MaxConcurrent,
 		QueueDepth:        cfg.QueueDepth,
 		DefaultTimeout:    cfg.DefaultTimeout,
+		MaxTimeout:        cfg.MaxTimeout,
 		RetryAfterSeconds: cfg.RetryAfterSeconds,
+		RateLimitPerSec:   cfg.RateLimitPerSec,
+		RateLimitBurst:    cfg.RateLimitBurst,
+		BreakerThreshold:  cfg.BreakerThreshold,
+		BreakerCooldown:   cfg.BreakerCooldown,
+		BrownoutQueueFrac: cfg.BrownoutQueueFrac,
+		BrownoutAfter:     cfg.BrownoutAfter,
+		BrownoutRecover:   cfg.BrownoutRecover,
 	})
 	return srv, srv.Drain
 }

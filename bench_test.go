@@ -328,6 +328,15 @@ func BenchmarkServeLoad(b *testing.B) {
 	benchsuite.BenchServeLoad(b)
 }
 
+// BenchmarkOverloadLoad is the canonical regression-guarded overload
+// benchmark (shared with cmd/benchdiff): a 32-request burst from 16
+// client workers against a 2-slot, 2-queue server — 4x capacity — so
+// the backpressure rejection path dominates. Compare against
+// BENCH_overload.json with cmd/benchdiff.
+func BenchmarkOverloadLoad(b *testing.B) {
+	benchsuite.BenchOverloadLoad(b)
+}
+
 // BenchmarkMulticell is the canonical regression-guarded cross-cell
 // batching benchmark (shared with cmd/benchdiff): the proposed-only
 // Fig. 5 regeneration with 8 concurrent drop workers routing their

@@ -2,7 +2,10 @@
 // estimator workspaces and packed codebook scorers stay warm across
 // requests, admission is bounded with 503 + Retry-After backpressure,
 // and SIGTERM drains gracefully (in-flight requests complete, new ones
-// are rejected).
+// are rejected). Under overload the server sheds doomed requests,
+// rate-limits greedy clients, trips a circuit breaker on failing
+// estimator specs, and brown-outs /v1/align to scan-order responses —
+// see the -rate, -breaker-*, and -brownout-* flags.
 //
 // Usage:
 //
@@ -14,7 +17,7 @@
 //	POST /v1/align     full simulated alignment run (seeded, deterministic)
 //	GET  /healthz      liveness (always 200 while the process serves)
 //	GET  /readyz       readiness (503 from the moment draining begins)
-//	GET  /statsz       pool, admission, and latency statistics
+//	GET  /statsz       pool, admission, resilience, and latency statistics
 //	GET  /debug/vars   expvar, including the server telemetry recorder
 package main
 
@@ -27,10 +30,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/faultinject"
+	"mmwalign/internal/meas"
 	"mmwalign/internal/obs"
+	"mmwalign/internal/rng"
 	"mmwalign/internal/serve"
 )
 
@@ -48,18 +58,54 @@ func run() error {
 		queue    = flag.Int("queue", 8, "requests allowed to wait beyond the concurrency limit")
 		timeout  = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTO    = flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
-		retrySec = flag.Int("retry-after", 1, "Retry-After seconds on 503 responses")
+		retrySec = flag.Int("retry-after", 1, "floor for Retry-After seconds on backpressure responses")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+
+		// Transport hardening: a slowloris peer dribbling header bytes
+		// holds a connection, not a request slot — these bound how long.
+		readHeaderTO = flag.Duration("read-header-timeout", 5*time.Second, "max time to read a request's headers")
+		readTO       = flag.Duration("read-timeout", 30*time.Second, "max time to read a full request")
+		writeTO      = flag.Duration("write-timeout", 0, "max time to write a response (0 = none; must exceed -max-timeout when set)")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+
+		// Overload resilience.
+		rate            = flag.Float64("rate", 0, "per-client sustained requests/second (0 = rate limiting off)")
+		rateBurst       = flag.Int("rate-burst", 0, "per-client burst capacity (0 = ceil of -rate)")
+		rateClients     = flag.Int("rate-clients", 4096, "max tracked rate-limit buckets (LRU beyond)")
+		breakerThresh   = flag.Int("breaker-threshold", 5, "consecutive estimation failures that trip the circuit (negative = breaker off)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit wait before a half-open probe")
+		brownoutFrac    = flag.Float64("brownout-frac", 0.75, "queue-occupancy fraction that arms brown-out (negative = brown-out off)")
+		brownoutAfter   = flag.Duration("brownout-after", 2*time.Second, "sustained pressure before /v1/align degrades to scan-order")
+		brownoutRecover = flag.Duration("brownout-recover", 2*time.Second, "sustained quiet before full estimation resumes")
+
+		inject = flag.String("inject", "", "fault injection for chaos testing, e.g. nan=0.05,nan-requests=4,panic-requests=2,seed=1")
 	)
 	flag.Parse()
 
-	srv := serve.NewServer(serve.Config{
-		MaxConcurrent:     *maxConc,
-		QueueDepth:        *queue,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTO,
-		RetryAfterSeconds: *retrySec,
-	})
+	cfg := serve.Config{
+		MaxConcurrent:       *maxConc,
+		QueueDepth:          *queue,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTO,
+		RetryAfterSeconds:   *retrySec,
+		RateLimitPerSec:     *rate,
+		RateLimitBurst:      *rateBurst,
+		RateLimitMaxClients: *rateClients,
+		BreakerThreshold:    *breakerThresh,
+		BreakerCooldown:     *breakerCooldown,
+		BrownoutQueueFrac:   *brownoutFrac,
+		BrownoutAfter:       *brownoutAfter,
+		BrownoutRecover:     *brownoutRecover,
+	}
+	if *inject != "" {
+		spec, err := parseInject(*inject)
+		if err != nil {
+			return err
+		}
+		cfg.WrapProber = spec.wrapper()
+		fmt.Printf("beamserve: fault injection active (%s)\n", *inject)
+	}
+	srv := serve.NewServer(cfg)
 	obs.Publish("beamserve", srv.Recorder())
 
 	mux := http.NewServeMux()
@@ -70,7 +116,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: mux}
+	httpSrv := newHTTPServer(mux, *readHeaderTO, *readTO, *writeTO, *idleTO)
 	fmt.Printf("beamserve: listening on %s\n", ln.Addr())
 
 	errCh := make(chan error, 1)
@@ -99,4 +145,95 @@ func run() error {
 	}
 	fmt.Println("beamserve: drained cleanly")
 	return nil
+}
+
+// newHTTPServer builds the transport-hardened http.Server. Separated
+// from run so the timeout wiring is unit-testable: ReadHeaderTimeout is
+// the slowloris bound (a peer dribbling header bytes is cut off),
+// ReadTimeout bounds the whole request read, IdleTimeout reaps
+// keep-alive connections, and WriteTimeout stays off by default because
+// it would cap response writing below the app-level -max-timeout.
+func newHTTPServer(h http.Handler, readHeaderTO, readTO, writeTO, idleTO time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTO,
+		ReadTimeout:       readTO,
+		WriteTimeout:      writeTO,
+		IdleTimeout:       idleTO,
+	}
+}
+
+// injectSpec is the parsed -inject flag: deterministic fault injection
+// for the chaos-soak harness. nan-requests / panic-requests poison the
+// first K wrapped alignment runs outright (NaN energies, or a panic on
+// the first measurement); nan= adds a persistent per-measurement NaN
+// probability for every later run.
+type injectSpec struct {
+	pNaN      float64
+	nanReqs   int64
+	panicReqs int64
+	seed      int64
+}
+
+// parseInject parses the comma-separated key=value -inject syntax.
+func parseInject(s string) (injectSpec, error) {
+	var spec injectSpec
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("-inject %q: want key=value, got %q", s, part)
+		}
+		var err error
+		switch key {
+		case "nan":
+			spec.pNaN, err = strconv.ParseFloat(val, 64)
+			if err == nil && (spec.pNaN < 0 || spec.pNaN > 1) {
+				err = fmt.Errorf("probability %v out of [0,1]", spec.pNaN)
+			}
+		case "nan-requests":
+			spec.nanReqs, err = strconv.ParseInt(val, 10, 64)
+		case "panic-requests":
+			spec.panicReqs, err = strconv.ParseInt(val, 10, 64)
+		case "seed":
+			spec.seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key (want nan, nan-requests, panic-requests, seed)")
+		}
+		if err != nil {
+			return spec, fmt.Errorf("-inject %q: %s: %v", s, key, err)
+		}
+	}
+	return spec, nil
+}
+
+// wrapper returns the serve.Config.WrapProber hook: an atomic counter
+// orders the wrapped runs, so "the first K requests fail" is exact
+// regardless of server concurrency.
+func (spec injectSpec) wrapper() func(meas.Prober) meas.Prober {
+	var n atomic.Int64
+	return func(p meas.Prober) meas.Prober {
+		i := n.Add(1)
+		switch {
+		case i <= spec.panicReqs:
+			return &panicProber{Prober: p}
+		case i <= spec.panicReqs+spec.nanReqs:
+			return faultinject.New(p, faultinject.Config{PNaN: 1, Seed: spec.seed},
+				rng.New(spec.seed).SplitIndexed("inject-nan", int(i)))
+		case spec.pNaN > 0:
+			return faultinject.New(p, faultinject.Config{PNaN: spec.pNaN, Seed: spec.seed},
+				rng.New(spec.seed).SplitIndexed("inject-rand", int(i)))
+		default:
+			return p
+		}
+	}
+}
+
+// panicProber panics on the first measurement — the injected crash the
+// server's panic recovery must absorb without dying.
+type panicProber struct {
+	meas.Prober
+}
+
+func (p *panicProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	panic("faultinject: injected measurement panic")
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestNewHTTPServerTimeouts pins the transport hardening: the
+// constructed server must carry the slowloris bounds, not the zero
+// values net/http defaults to (which never time a connection out).
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	mux := http.NewServeMux()
+	srv := newHTTPServer(mux, 5*time.Second, 30*time.Second, 0, 2*time.Minute)
+	if srv.Handler != http.Handler(mux) {
+		t.Error("handler not threaded through")
+	}
+	if got := srv.ReadHeaderTimeout; got != 5*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 5s", got)
+	}
+	if got := srv.ReadTimeout; got != 30*time.Second {
+		t.Errorf("ReadTimeout = %v, want 30s", got)
+	}
+	if got := srv.WriteTimeout; got != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (off: it would cap long app-level deadlines)", got)
+	}
+	if got := srv.IdleTimeout; got != 2*time.Minute {
+		t.Errorf("IdleTimeout = %v, want 2m", got)
+	}
+}
+
+func TestParseInject(t *testing.T) {
+	spec, err := parseInject("nan=0.25,nan-requests=4,panic-requests=2,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.pNaN != 0.25 || spec.nanReqs != 4 || spec.panicReqs != 2 || spec.seed != 7 {
+		t.Errorf("spec = %+v, want {0.25 4 2 7}", spec)
+	}
+
+	for _, bad := range []string{
+		"nan",           // no value
+		"nan=2",         // probability out of range
+		"nan=x",         // not a number
+		"panics=3",      // unknown key
+		"nan-requests=", // empty value
+	} {
+		if _, err := parseInject(bad); err == nil {
+			t.Errorf("parseInject(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestInjectWrapperOrdering pins the request-ordered fault schedule:
+// panics first, then fully NaN-poisoned runs, then pass-through (or the
+// persistent probabilistic wrapper when nan= is set).
+func TestInjectWrapperOrdering(t *testing.T) {
+	spec := injectSpec{panicReqs: 1, nanReqs: 2}
+	wrap := spec.wrapper()
+	if _, ok := wrap(nil).(*panicProber); !ok {
+		t.Error("request 1 not a panic prober")
+	}
+	for i := 2; i <= 3; i++ {
+		if p := wrap(nil); p == nil {
+			t.Errorf("request %d: nil prober, want NaN injector", i)
+		} else if _, ok := p.(*panicProber); ok {
+			t.Errorf("request %d: panic prober, want NaN injector", i)
+		}
+	}
+	if p := wrap(nil); p != nil {
+		t.Errorf("request 4 wrapped (%T), want untouched pass-through", p)
+	}
+}

@@ -61,7 +61,7 @@ func baselinePath(dir, name string) string {
 // defaultSet is the workload list used when -bench is not given. It
 // covers both hot-path kernels and one single-path figure of each kind;
 // the multipath figures are available by name.
-var defaultSet = []string{"estimate", "eigen", "gemm", "codebook", "serve", "multicell", "scenario", "fig5", "fig7"}
+var defaultSet = []string{"estimate", "eigen", "gemm", "codebook", "serve", "overload", "multicell", "scenario", "fig5", "fig7"}
 
 func main() {
 	var (

@@ -61,6 +61,11 @@ func All() []Workload {
 			Func: BenchServeLoad,
 		},
 		{
+			Name: "overload",
+			Desc: "alignment-server rejection path at 4x capacity (32 requests, 16 clients, 2 slots + 2 queued) with p50/p95/p99 latency",
+			Func: BenchOverloadLoad,
+		},
+		{
 			Name: "multicell",
 			Desc: "Fig. 5 proposed-only regeneration through the cross-cell batched GEMM engine (8 workers)",
 			Func: BenchMulticell,

@@ -1,0 +1,134 @@
+package benchsuite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mmwalign/internal/metrics"
+	"mmwalign/internal/serve"
+)
+
+// The overload workload is the rejection-path complement of the serve
+// workload: four times the server's admission capacity, so a large
+// fraction of requests exercise the backpressure machinery (queue-full
+// and shed 503s with dynamic Retry-After) instead of the served path.
+// The latency percentiles it reports are the overload guarantee under
+// regression watch — rejections must stay fast for the tail to stay
+// bounded.
+const (
+	overloadWorkers = 16 // 4x the 2-executing + 2-queued window below
+	overloadBurst   = 32
+)
+
+// BenchOverloadLoad measures the alignment server past saturation: each
+// iteration fires a 32-request burst from 16 client workers at a server
+// with 2 execution slots and a 2-deep queue, timing every response —
+// success or typed rejection. Reported metrics: p50_ns/p95_ns/p99_ns
+// over all responses and the deterministic best-beam score of a served
+// request (the resilience layer must not perturb results).
+func BenchOverloadLoad(b *testing.B) {
+	srv := serve.NewServer(serve.Config{
+		MaxConcurrent: 2,
+		QueueDepth:    2,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := serveLoadBody()
+	client := ts.Client()
+	url := ts.URL + "/v1/estimate"
+
+	// Warm the pool and capture the fidelity metric outside the timed
+	// region.
+	first, err := postServeLoad(client, url, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var resp struct {
+		Picks struct {
+			Best struct {
+				Score float64 `json:"score"`
+			} `json:"best"`
+		} `json:"picks"`
+	}
+	if err := json.Unmarshal(first, &resp); err != nil {
+		b.Fatal(err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			wg   sync.WaitGroup
+			work = make(chan struct{}, overloadBurst)
+			errs = make(chan error, overloadBurst)
+		)
+		for j := 0; j < overloadBurst; j++ {
+			work <- struct{}{}
+		}
+		close(work)
+		for w := 0; w < overloadWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range work {
+					start := time.Now()
+					if err := postOverload(client, url, body); err != nil {
+						errs <- err
+						return
+					}
+					elapsed := float64(time.Since(start).Nanoseconds())
+					mu.Lock()
+					latencies = append(latencies, elapsed)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(metrics.Percentile(latencies, 50), "p50_ns")
+	b.ReportMetric(metrics.Percentile(latencies, 95), "p95_ns")
+	b.ReportMetric(metrics.Percentile(latencies, 99), "p99_ns")
+	b.ReportMetric(resp.Picks.Best.Score, "best_score")
+}
+
+// postOverload issues one request past saturation: a 200 and a typed
+// backpressure 503 are both expected outcomes, anything else fails.
+func postOverload(client *http.Client, url string, body []byte) error {
+	res, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	switch res.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusServiceUnavailable:
+		if res.Header.Get("Retry-After") == "" {
+			return fmt.Errorf("overload: 503 without Retry-After: %s", data)
+		}
+		return nil
+	default:
+		return fmt.Errorf("overload: status %d: %s", res.StatusCode, data)
+	}
+}

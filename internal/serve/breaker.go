@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"mmwalign/internal/obs"
+)
+
+// breakerState is the classic three-state circuit over estimator
+// failures.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerOutcome classifies how a request that passed Allow ended, for
+// resolve. Neutral outcomes (bad request, client gone, deadline) say
+// nothing about estimator health and must not move the circuit.
+type breakerOutcome int
+
+const (
+	breakerNeutral breakerOutcome = iota
+	breakerSuccess
+	breakerFailure
+)
+
+// breakerEntry is one estimator key's circuit state.
+type breakerEntry struct {
+	state       breakerState
+	consecutive int       // consecutive estimation failures while closed
+	openedAt    time.Time // when the circuit last opened
+	probing     bool      // a half-open probe request is in flight
+}
+
+// breaker short-circuits estimation work that keeps failing: after
+// threshold consecutive typed estimation failures on one key (an
+// EstimatorSpec, or the align-side equivalent), the circuit opens and
+// requests for that key are answered immediately with the scan-order
+// fallback instead of burning a full solver budget each. After the
+// cooldown one probe request is let through half-open; success closes
+// the circuit, failure re-opens it for another cooldown.
+//
+// Entries are created only by failures — a healthy server holds no
+// breaker state at all — and live in an LRU-bounded table so hostile
+// spec churn cannot grow memory. A nil breaker (disabled) allows
+// everything.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	entries   *lruMap // key → *breakerEntry
+
+	trips      *obs.Counter
+	probes     *obs.Counter
+	recoveries *obs.Counter
+	shorts     *obs.Counter
+}
+
+// newBreaker builds a breaker tripping after threshold consecutive
+// failures, holding open for cooldown, over at most maxEntries keys.
+func newBreaker(threshold int, cooldown time.Duration, maxEntries int, now func() time.Time, rec *obs.Recorder) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &breaker{
+		threshold:  threshold,
+		cooldown:   cooldown,
+		now:        now,
+		entries:    newLRUMap(maxEntries),
+		trips:      rec.Counter("serve_breaker_trips"),
+		probes:     rec.Counter("serve_breaker_probes"),
+		recoveries: rec.Counter("serve_breaker_recoveries"),
+		shorts:     rec.Counter("serve_breaker_short_circuits"),
+	}
+}
+
+// Allow decides whether a request for key may run the estimator.
+// proceed=false means the circuit is open: answer with the scan-order
+// fallback and the retryAfter hint. probe=true marks the single
+// half-open trial request; its caller must report the outcome through
+// resolve so the probe slot is never leaked.
+func (b *breaker) Allow(key string) (proceed, probe bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.entries.get(key)
+	if !ok {
+		return true, false, 0
+	}
+	e := v.(*breakerEntry)
+	switch e.state {
+	case breakerClosed:
+		return true, false, 0
+	case breakerOpen:
+		if elapsed := b.now().Sub(e.openedAt); elapsed >= b.cooldown {
+			e.state = breakerHalfOpen
+			e.probing = true
+			b.probes.Add(1)
+			return true, true, 0
+		} else {
+			b.shorts.Add(1)
+			return false, false, b.cooldown - elapsed
+		}
+	default: // half-open
+		if e.probing {
+			// One probe at a time: concurrent arrivals short-circuit until
+			// the in-flight probe resolves.
+			b.shorts.Add(1)
+			return false, false, b.cooldown
+		}
+		e.probing = true
+		b.probes.Add(1)
+		return true, true, 0
+	}
+}
+
+// resolve reports how a request that passed Allow ended. Successes
+// reset the failure streak and close a half-open circuit; failures
+// extend the streak (tripping the circuit at the threshold) or re-open
+// a half-open one. Neutral outcomes only release the probe slot.
+func (b *breaker) resolve(key string, probe bool, outcome breakerOutcome) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.entries.get(key)
+	var e *breakerEntry
+	if ok {
+		e = v.(*breakerEntry)
+	} else {
+		if outcome != breakerFailure {
+			// Healthy keys never allocate breaker state.
+			return
+		}
+		e = &breakerEntry{}
+		b.entries.put(key, e)
+	}
+	if probe {
+		e.probing = false
+	}
+	switch outcome {
+	case breakerSuccess:
+		e.consecutive = 0
+		if e.state != breakerClosed {
+			e.state = breakerClosed
+			b.recoveries.Add(1)
+		}
+	case breakerFailure:
+		e.consecutive++
+		switch {
+		case e.state == breakerHalfOpen && probe:
+			// Probe failed: back to open for another full cooldown.
+			e.state = breakerOpen
+			e.openedAt = b.now()
+			b.trips.Add(1)
+		case e.state == breakerClosed && e.consecutive >= b.threshold:
+			e.state = breakerOpen
+			e.openedAt = b.now()
+			b.trips.Add(1)
+		}
+	}
+}
+
+// States snapshots every tracked key's circuit state for /statsz. A
+// healthy server returns an empty map — entries exist only for keys
+// that have failed.
+func (b *breaker) States() map[string]string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.entries.len() == 0 {
+		return nil
+	}
+	out := make(map[string]string, b.entries.len())
+	b.entries.each(func(key string, val any) {
+		out[key] = val.(*breakerEntry).state.String()
+	})
+	return out
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"mmwalign/internal/align"
 	"mmwalign/internal/antenna"
@@ -157,7 +159,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, kind, detail := s.admit(ctx)
+	release, kind, detail := s.admit(ctx, "estimate")
 	if kind != "" {
 		s.writeError(w, kind, detail, nil)
 		return
@@ -174,6 +176,31 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		MaxIters:    req.MaxIters,
 		Accelerated: req.Accelerated,
 	}
+	// Validate before the breaker consults the canonical spec key, so the
+	// circuit never keys on (or the short-circuit codebook builds from)
+	// geometry the constructors would panic on. Lease re-validates; same
+	// error text either way.
+	eff := spec.WithDefaults()
+	if err := eff.Validate(); err != nil {
+		s.writeError(w, errBadRequest, err.Error(), nil)
+		return
+	}
+
+	// Circuit breaker: a spec whose estimator keeps failing is answered
+	// straight from the shared codebook — scan-order fallback, no session
+	// leased, no solver budget burned.
+	bkey := "estimate:" + eff.key()
+	proceed, probe, wait := s.breaker.Allow(bkey)
+	if !proceed {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(wait)))
+		s.writeError(w, errCircuitOpen,
+			"estimator circuit open for this spec; sound the scan-order fallback",
+			scanFallback(s.pool.book(eff), req.TopK))
+		return
+	}
+	outcome := breakerNeutral
+	defer func() { s.breaker.resolve(bkey, probe, outcome) }()
+
 	lease, err := s.pool.Lease(spec)
 	if err != nil {
 		s.writeError(w, errBadRequest, err.Error(), nil)
@@ -193,6 +220,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			if !done {
 				lease.Discard()
 			}
+			outcome = breakerFailure
 			s.rec.Counter("serve_panics").Add(1)
 			s.writeError(w, errInternalPanic, "request panicked; session discarded",
 				scanFallback(book, req.TopK))
@@ -230,10 +258,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// server-side analogue of the strategies' estimator failure: the
 		// typed 5xx carries the scan-order fallback so the client can
 		// keep sounding without an estimate.
+		outcome = breakerFailure
 		s.rec.Counter("serve_estimation_failures").Add(1)
 		s.writeError(w, errEstimationFailed, err.Error(), scanFallback(book, req.TopK))
 		return
 	}
+	outcome = breakerSuccess
 
 	bestIdx, bestScore := book.BestQuadForm(q)
 	sess.topk = book.TopKQuadFormInto(q, req.TopK, sess.topk)
@@ -410,6 +440,12 @@ type alignResponse struct {
 	// Fallback, when present, notes that the run degraded to scan-order
 	// sounding (estimator failures mid-trajectory) and how often.
 	Fallback *fallbackInfo `json:"fallback,omitempty"`
+	// Degraded marks a brown-out response: the server transparently ran
+	// the cheap scan-order strategy instead of the requested scheme to
+	// keep answering under sustained overload. Omitted when false, so
+	// full-quality responses stay byte-identical to a server without the
+	// resilience layer.
+	Degraded bool `json:"degraded,omitempty"`
 	// Telemetry is the optional per-request manifest fragment.
 	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
 }
@@ -443,7 +479,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, kind, detail := s.admit(ctx)
+	release, kind, detail := s.admit(ctx, "align")
 	if kind != "" {
 		s.writeError(w, kind, detail, nil)
 		return
@@ -456,7 +492,34 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	strat, err := align.ForScheme(req.Scheme, env.RXBook, align.SchemeSpec{
+	// Brown-out: under sustained queue pressure every align request runs
+	// the cheap scan-order sweep instead of its requested scheme, marked
+	// "degraded": true — the server keeps answering rather than 503ing.
+	scheme := req.Scheme
+	degraded := false
+	if scheme != "scan" && s.brownout.Degraded() {
+		scheme = "scan"
+		degraded = true
+	}
+
+	// Circuit breaker, keyed by effective scheme + codebook geometry.
+	// Checked after buildEnv so a short-circuited request still exercises
+	// the prober seam's wrap (fault-injection schedules keyed on wrap
+	// count stay aligned).
+	bkey := fmt.Sprintf("align:%s:%dx%d:%dx%d", scheme,
+		req.TXBeamsAz, req.TXBeamsEl, req.RXBeamsAz, req.RXBeamsEl)
+	proceed, probe, wait := s.breaker.Allow(bkey)
+	if !proceed {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(wait)))
+		s.writeError(w, errCircuitOpen,
+			"alignment circuit open for this scheme; sound the scan-order fallback",
+			scanFallback(env.RXBook, 8))
+		return
+	}
+	outcome := breakerNeutral
+	defer func() { s.breaker.resolve(bkey, probe, outcome) }()
+
+	strat, err := align.ForScheme(scheme, env.RXBook, align.SchemeSpec{
 		J:      req.J,
 		Mu:     req.Mu,
 		Window: req.Window,
@@ -472,6 +535,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	// request-local, so no pooled state needs discarding here.
 	defer func() {
 		if p := recover(); p != nil {
+			outcome = breakerFailure
 			s.rec.Counter("serve_panics").Add(1)
 			s.writeError(w, errInternalPanic, "alignment run panicked",
 				scanFallback(env.RXBook, 8))
@@ -485,6 +549,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, k, err.Error(), scanFallback(env.RXBook, 8))
 			return
 		}
+		outcome = breakerFailure
 		s.rec.Counter("serve_estimation_failures").Add(1)
 		s.writeError(w, errEstimationFailed, err.Error(), scanFallback(env.RXBook, 8))
 		return
@@ -506,19 +571,35 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	// JSON could not carry the values anyway. Report the degradation as
 	// a typed failure carrying the scan-order fallback.
 	if !finite(resp.MeasuredSNRdB) || !finite(resp.TrueSNRdB) || !finite(resp.OptimalSNRdB) || !finite(resp.LossDB) {
+		outcome = breakerFailure
 		s.rec.Counter("serve_estimation_failures").Add(1)
 		s.writeError(w, errEstimationFailed,
 			"alignment produced a non-finite result (poisoned measurements)", scanFallback(env.RXBook, 8))
 		return
 	}
+	outcome = breakerSuccess
 	if n := rec.Counter("estimator_fallbacks").Value(); n > 0 {
 		resp.Fallback = &fallbackInfo{Policy: "scan-order", Count: n}
+	}
+	if degraded {
+		resp.Degraded = true
+		s.rec.Counter("serve_degraded_responses").Add(1)
 	}
 	if req.Telemetry {
 		snap := rec.Snapshot()
 		resp.Telemetry = &snap
 	}
 	writeJSON(w, resp)
+}
+
+// retryAfterSecs rounds a wait up to whole seconds for the Retry-After
+// header, at least one.
+func retryAfterSecs(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // buildEnv constructs the request-local simulation environment,

@@ -1,0 +1,73 @@
+package serve
+
+import "container/list"
+
+// lruMap is a capacity-bounded string-keyed map with least-recently-
+// used eviction. The resilience layer keys state by client-controlled
+// identifiers (client IDs for rate-limit buckets, estimator-spec keys
+// for breaker entries), so every such table must be bounded: a hostile
+// peer churning fresh identifiers must recycle old entries, never grow
+// the server's memory. Not concurrency-safe — callers hold their own
+// mutex, which they need anyway to make check-then-update atomic.
+type lruMap struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// lruEntry is one key/value pair threaded through the recency list.
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRUMap builds an empty map bounded at capacity entries (min 1).
+func newLRUMap(capacity int) *lruMap {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruMap{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the value for key, marking it most recently used.
+func (m *lruMap) get(key string) (any, bool) {
+	el, ok := m.items[key]
+	if !ok {
+		return nil, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the map is at capacity.
+func (m *lruMap) put(key string, val any) {
+	if el, ok := m.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		m.order.MoveToFront(el)
+		return
+	}
+	if m.order.Len() >= m.cap {
+		oldest := m.order.Back()
+		if oldest != nil {
+			m.order.Remove(oldest)
+			delete(m.items, oldest.Value.(*lruEntry).key)
+		}
+	}
+	m.items[key] = m.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// len reports the current entry count.
+func (m *lruMap) len() int { return m.order.Len() }
+
+// each visits every entry, most recently used first.
+func (m *lruMap) each(fn func(key string, val any)) {
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		fn(e.key, e.val)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"mmwalign/internal/obs"
+)
+
+// clientIDHeader identifies the caller for per-client rate limiting.
+// Multiplexing infrastructure (gateways, SDKs) sets it; direct callers
+// fall back to their remote address.
+const clientIDHeader = "X-Client-ID"
+
+// maxClientIDLen caps the accepted header length so a hostile client
+// cannot make the bucket table's keys arbitrarily large.
+const maxClientIDLen = 128
+
+// clientID extracts the rate-limit key of a request: the X-Client-ID
+// header when present (truncated to a sane length), else the host half
+// of the remote address so one NATed site shares a bucket regardless of
+// ephemeral port churn.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(clientIDHeader); id != "" {
+		if len(id) > maxClientIDLen {
+			id = id[:maxClientIDLen]
+		}
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// rateLimiter is a per-client token-bucket limiter. Buckets live in an
+// LRU-bounded table so identifier churn recycles the oldest buckets
+// instead of growing memory without bound; refill is lazy (computed
+// from elapsed time at each request), so an idle bucket costs nothing.
+// A nil limiter (rate limiting disabled) allows everything.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	now     func() time.Time
+	buckets *lruMap // client ID → *tokenBucket
+	limited *obs.Counter
+}
+
+// tokenBucket is one client's refill state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter allowing rate requests/second with
+// the given burst capacity over at most maxClients tracked buckets.
+func newRateLimiter(rate float64, burst int, maxClients int, now func() time.Time, limited *obs.Counter) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: newLRUMap(maxClients),
+		limited: limited,
+	}
+}
+
+// allow spends one token from the client's bucket. When the bucket is
+// empty it reports how long the client should wait for the next token
+// (the Retry-After hint, at least one second).
+func (l *rateLimiter) allow(id string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	var b *tokenBucket
+	if v, found := l.buckets.get(id); found {
+		b = v.(*tokenBucket)
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		}
+		b.last = now
+	} else {
+		// A fresh (or LRU-evicted-and-returned) client starts with a full
+		// burst — eviction under churn therefore errs toward admitting,
+		// never toward starving a legitimate client.
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets.put(id, b)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.limited.Add(1)
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// clients reports how many buckets are currently tracked (telemetry and
+// the LRU-bound regression test).
+func (l *rateLimiter) clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buckets.len()
+}

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the deterministic time source for the resilience layer:
+// every rate-limit refill, breaker cooldown, brown-out window, and shed
+// deadline in these tests is driven by explicit Advance calls, never by
+// the wall clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// postID is post with an X-Client-ID header attached.
+func postID(t *testing.T, url, id string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(clientIDHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, buf.Bytes()
+}
+
+func TestLRUMapEvictsOldest(t *testing.T) {
+	m := newLRUMap(3)
+	for _, k := range []string{"a", "b", "c"} {
+		m.put(k, k)
+	}
+	// Touch "a" so "b" becomes the eviction candidate.
+	if _, ok := m.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	m.put("d", "d")
+	if m.len() != 3 {
+		t.Fatalf("len = %d, want 3", m.len())
+	}
+	if _, ok := m.get("b"); ok {
+		t.Error("b survived eviction; want it dropped as least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := m.get(k); !ok {
+			t.Errorf("%s evicted; want it retained", k)
+		}
+	}
+}
+
+func TestClientIDExtraction(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/v1/align", nil)
+	r.RemoteAddr = "10.1.2.3:54321"
+	if got := clientID(r); got != "10.1.2.3" {
+		t.Errorf("fallback clientID = %q, want remote host", got)
+	}
+	r.Header.Set(clientIDHeader, "tenant-7")
+	if got := clientID(r); got != "tenant-7" {
+		t.Errorf("header clientID = %q, want tenant-7", got)
+	}
+	long := make([]byte, 4*maxClientIDLen)
+	for i := range long {
+		long[i] = 'x'
+	}
+	r.Header.Set(clientIDHeader, string(long))
+	if got := clientID(r); len(got) != maxClientIDLen {
+		t.Errorf("oversized clientID kept %d bytes, want %d", len(got), maxClientIDLen)
+	}
+}
+
+// TestRateLimitPerClient drives the limiter through HTTP: one client's
+// burst exhausts to a typed 429 with Retry-After, a second client is
+// unaffected, and the fake clock refills the first.
+func TestRateLimitPerClient(t *testing.T) {
+	clk := newFakeClock()
+	srv := NewServer(Config{RateLimitPerSec: 1, RateLimitBurst: 2, now: clk.Now})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		if status, _, body := postID(t, ts.URL+"/v1/estimate", "alice", estimateBody(1, 2)); status != http.StatusOK {
+			t.Fatalf("burst request %d: status %d, body %s", i, status, body)
+		}
+	}
+	status, hdr, body := postID(t, ts.URL+"/v1/estimate", "alice", estimateBody(1, 2))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d, want 429; body %s", status, body)
+	}
+	if kind := decodeErrorBody(t, body).Error.Kind; kind != errRateLimited {
+		t.Errorf("kind = %q, want %q", kind, errRateLimited)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+
+	// Another client has its own bucket.
+	if status, _, body := postID(t, ts.URL+"/v1/estimate", "bob", estimateBody(1, 2)); status != http.StatusOK {
+		t.Errorf("other client status = %d, want 200; body %s", status, body)
+	}
+
+	// One refill interval restores exactly one token.
+	clk.Advance(time.Second)
+	if status, _, body := postID(t, ts.URL+"/v1/estimate", "alice", estimateBody(1, 2)); status != http.StatusOK {
+		t.Errorf("post-refill status = %d, want 200; body %s", status, body)
+	}
+	if status, _, _ := postID(t, ts.URL+"/v1/estimate", "alice", estimateBody(1, 2)); status != http.StatusTooManyRequests {
+		t.Errorf("second post-refill status = %d, want 429", status)
+	}
+
+	if got := srv.rec.Counter("serve_rate_limited").Value(); got != 2 {
+		t.Errorf("serve_rate_limited = %d, want 2", got)
+	}
+}
+
+// TestRateLimitLRUBound pins the memory bound: hostile client-ID churn
+// recycles buckets instead of growing the table.
+func TestRateLimitLRUBound(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, 8, clk.Now, NewServer(Config{}).rec.Counter("x"))
+	for i := 0; i < 1000; i++ {
+		l.allow(fmt.Sprintf("client-%d", i))
+	}
+	if got := l.clients(); got > 8 {
+		t.Errorf("tracked buckets = %d, want <= 8", got)
+	}
+}
+
+// failSwitch makes the estimate handler panic on demand — the
+// in-package seam for deterministic estimation failures, since a panic
+// mid-request is a breaker failure like any typed estimation 5xx.
+type failSwitch struct {
+	mu   sync.Mutex
+	fail bool
+}
+
+func (f *failSwitch) set(v bool) {
+	f.mu.Lock()
+	f.fail = v
+	f.mu.Unlock()
+}
+
+func (f *failSwitch) hook() {
+	f.mu.Lock()
+	fail := f.fail
+	f.mu.Unlock()
+	if fail {
+		panic("injected estimation failure")
+	}
+}
+
+// TestBreakerTripShortCircuitRecover walks the full circuit: threshold
+// consecutive failures trip it open, open requests short-circuit to the
+// scan-order fallback without leasing a session, the cooldown admits a
+// half-open probe, a failed probe re-opens, and a clean probe closes.
+func TestBreakerTripShortCircuitRecover(t *testing.T) {
+	clk := newFakeClock()
+	sw := &failSwitch{}
+	srv := NewServer(Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		now:              clk.Now,
+		estimateHook:     sw.hook,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two consecutive failures trip the circuit.
+	sw.set(true)
+	for i := 0; i < 2; i++ {
+		status, _, body := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2))
+		if status != http.StatusInternalServerError {
+			t.Fatalf("failure %d: status %d, want 500; body %s", i, status, body)
+		}
+	}
+	if got := srv.rec.Counter("serve_breaker_trips").Value(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// Open: short-circuited with the fallback, no session leased.
+	leasesBefore := srv.Pool().Stats().Leases
+	status, hdr, body := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("open-circuit status = %d, want 503; body %s", status, body)
+	}
+	eb := decodeErrorBody(t, body)
+	if eb.Error.Kind != errCircuitOpen {
+		t.Errorf("kind = %q, want %q", eb.Error.Kind, errCircuitOpen)
+	}
+	if eb.Fallback == nil || eb.Fallback.Policy != "scan-order" || len(eb.Fallback.RXBeams) == 0 {
+		t.Errorf("open-circuit fallback = %+v, want scan-order with beams", eb.Fallback)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if got := srv.Pool().Stats().Leases; got != leasesBefore {
+		t.Errorf("leases %d -> %d across short-circuit; want no solver budget burned", leasesBefore, got)
+	}
+
+	// Cooldown elapses; the probe is still failing, so the circuit
+	// re-opens for another full cooldown.
+	clk.Advance(time.Minute + time.Second)
+	if status, _, _ := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2)); status != http.StatusInternalServerError {
+		t.Fatalf("failed probe status = %d, want 500", status)
+	}
+	if status, _, _ := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2)); status != http.StatusServiceUnavailable {
+		t.Fatalf("post-failed-probe status = %d, want 503 (re-opened)", status)
+	}
+
+	// Next cooldown's probe succeeds and closes the circuit.
+	sw.set(false)
+	clk.Advance(time.Minute + time.Second)
+	if status, _, body := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2)); status != http.StatusOK {
+		t.Fatalf("clean probe status = %d, want 200; body %s", status, body)
+	}
+	if got := srv.rec.Counter("serve_breaker_recoveries").Value(); got != 1 {
+		t.Errorf("recoveries = %d, want 1", got)
+	}
+	for key, state := range srv.breaker.States() {
+		if state != "closed" {
+			t.Errorf("breaker %q = %s after recovery, want closed", key, state)
+		}
+	}
+
+	// Closed again: the next request is a plain 200.
+	if status, _, _ := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2)); status != http.StatusOK {
+		t.Error("post-recovery request not served")
+	}
+}
+
+// TestBreakerHealthyServerHoldsNoState pins the failure-only allocation
+// property: successes never create breaker entries.
+func TestBreakerHealthyServerHoldsNoState(t *testing.T) {
+	srv := NewServer(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		if status, _, _ := post(t, ts.URL+"/v1/estimate", estimateBody(i%4, 2)); status != http.StatusOK {
+			t.Fatalf("request %d not served", i)
+		}
+	}
+	if states := srv.breaker.States(); states != nil {
+		t.Errorf("breaker states = %v after healthy traffic, want none", states)
+	}
+}
+
+// TestShedDeadlineAware pins the CoDel-style admission test: once the
+// server has observed its own service time, a queued arrival whose
+// deadline cannot outlast the expected queue wait is rejected
+// immediately as a typed shed, without leasing a session.
+func TestShedDeadlineAware(t *testing.T) {
+	gate := newBlockingGate()
+	srv := NewServer(Config{
+		MaxConcurrent:  1,
+		QueueDepth:     4,
+		DefaultTimeout: time.Minute,
+		WrapProber:     gate.wrap,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Teach the server that estimates take ~10s.
+	for i := 0; i < 5; i++ {
+		srv.lat.observe("estimate", 10e9)
+	}
+
+	// Occupy the single execution slot.
+	blockedDone := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL+"/v1/align", alignBody(1))
+		blockedDone <- status
+	}()
+	<-gate.started
+
+	// A queued request with a minute of headroom rides out the 10s wait.
+	queuedDone := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL+"/v1/estimate", estimateBody(1, 2))
+		queuedDone <- status
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		inflight := srv.inflight
+		srv.mu.Unlock()
+		if inflight == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// 500ms of deadline against an expected 20s wait (2 ahead × 10s):
+	// shed now, not 504 later.
+	var req map[string]any
+	body := estimateBody(2, 2)
+	mustUnmarshal(t, body, &req)
+	req["timeout_ms"] = 500
+	leasesBefore := srv.Pool().Stats().Leases
+	status, hdr, data := post(t, ts.URL+"/v1/estimate", mustMarshal(t, req))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", status, data)
+	}
+	if kind := decodeErrorBody(t, data).Error.Kind; kind != errShed {
+		t.Errorf("kind = %q, want %q", kind, errShed)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if got := srv.rec.Counter("serve_sheds").Value(); got != 1 {
+		t.Errorf("serve_sheds = %d, want 1", got)
+	}
+	if got := srv.Pool().Stats().Leases; got != leasesBefore {
+		t.Errorf("shed request leased a session (%d -> %d)", leasesBefore, got)
+	}
+
+	close(gate.gate)
+	if status := <-blockedDone; status != http.StatusOK {
+		t.Errorf("blocked request finished with %d, want 200", status)
+	}
+	if status := <-queuedDone; status != http.StatusOK {
+		t.Errorf("queued request finished with %d, want 200", status)
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the dynamic Retry-After
+// estimate: the static flag with no latency observed, then the queue's
+// expected drain time once the server knows its own median.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	srv := NewServer(Config{MaxConcurrent: 1, QueueDepth: 8, RetryAfterSeconds: 1})
+	if got := srv.dynamicRetryAfter(); got != 1 {
+		t.Errorf("unobserved Retry-After = %d, want static floor 1", got)
+	}
+	for i := 0; i < 8; i++ {
+		srv.lat.observe("estimate", 2e9) // 2s median
+	}
+	set := func(inflight int) {
+		srv.mu.Lock()
+		srv.inflight = inflight
+		srv.mu.Unlock()
+	}
+	set(4) // 3 queued -> (3+1)*2s
+	if got := srv.dynamicRetryAfter(); got != 8 {
+		t.Errorf("Retry-After at 3 queued = %d, want 8", got)
+	}
+	set(7) // 6 queued -> (6+1)*2s
+	if got := srv.dynamicRetryAfter(); got != 14 {
+		t.Errorf("Retry-After at 6 queued = %d, want 14", got)
+	}
+	set(0)
+	if got := srv.dynamicRetryAfter(); got != 2 {
+		t.Errorf("Retry-After at empty queue = %d, want 2 (one service time)", got)
+	}
+}
+
+// TestBrownoutHysteresis drives the controller directly through its
+// state machine: sustained pressure degrades, the hysteresis band holds
+// state, and a sustained quiet window recovers.
+func TestBrownoutHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	b := newBrownout(0.5, 8, time.Second, time.Second, clk.Now, NewServer(Config{}).rec)
+	if b.enter != 4 || b.exit != 2 {
+		t.Fatalf("thresholds = enter %d exit %d, want 4/2", b.enter, b.exit)
+	}
+
+	// A momentary spike does not degrade.
+	b.sample(5)
+	if b.Degraded() {
+		t.Fatal("degraded on first over-threshold sample; want sustained pressure required")
+	}
+	// Pressure relief resets the timer.
+	b.sample(0)
+	clk.Advance(2 * time.Second)
+	b.sample(5)
+	if b.Degraded() {
+		t.Fatal("degraded after timer reset; want fresh window")
+	}
+	clk.Advance(time.Second)
+	b.sample(5)
+	if !b.Degraded() {
+		t.Fatal("not degraded after sustained pressure")
+	}
+
+	// The hysteresis band (exit < queued < enter) holds degraded.
+	clk.Advance(time.Hour)
+	b.sample(3)
+	if !b.Degraded() {
+		t.Fatal("recovered inside hysteresis band; want hold")
+	}
+	// Quiet must be sustained too.
+	b.sample(0)
+	clk.Advance(500 * time.Millisecond)
+	b.sample(5) // relapse resets the recovery timer
+	b.sample(0)
+	clk.Advance(time.Second)
+	b.sample(0)
+	if b.Degraded() {
+		t.Fatal("still degraded after sustained quiet window")
+	}
+}
+
+func mustUnmarshal(t *testing.T, data []byte, dst any) {
+	t.Helper()
+	if err := json.Unmarshal(data, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

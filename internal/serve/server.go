@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -41,6 +42,47 @@ type Config struct {
 	// reachable via Server.Recorder.
 	Recorder *obs.Recorder
 
+	// --- overload-resilience knobs ---
+	// The layer is inert when the server is healthy and unloaded:
+	// shedding needs a queue plus observed latency, the breaker needs
+	// consecutive failures, brown-out needs sustained queue pressure,
+	// and rate limiting is off unless RateLimitPerSec is set.
+
+	// RateLimitPerSec enables per-client token-bucket rate limiting at
+	// this sustained request rate (0 disables). Clients are keyed by
+	// the X-Client-ID header, falling back to the remote host.
+	RateLimitPerSec float64
+	// RateLimitBurst is the bucket capacity (default ceil(rate), min 1).
+	RateLimitBurst int
+	// RateLimitMaxClients bounds the LRU bucket table (default 4096),
+	// so hostile client-ID churn recycles buckets instead of growing
+	// memory.
+	RateLimitMaxClients int
+	// BreakerThreshold is how many consecutive estimation failures on
+	// one estimator key trip the circuit open (default 5; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before letting
+	// a half-open probe through (default 5s).
+	BreakerCooldown time.Duration
+	// BreakerMaxEntries bounds the LRU breaker table (default 1024).
+	BreakerMaxEntries int
+	// BrownoutQueueFrac is the queue-occupancy fraction that arms
+	// brown-out degraded mode (default 0.75; negative disables).
+	BrownoutQueueFrac float64
+	// BrownoutAfter is how long pressure must stay at or above the
+	// threshold before /v1/align degrades (default 2s).
+	BrownoutAfter time.Duration
+	// BrownoutRecover is how long pressure must stay clear before full
+	// estimation resumes (default 2s).
+	BrownoutRecover time.Duration
+
+	// now is the clock seam: the resilience layer (rate-limit refill,
+	// breaker cooldown, brown-out windows, shed deadlines) reads time
+	// only through it, so tests drive every transition with a fake
+	// clock. Defaults to time.Now.
+	now func() time.Time
+
 	// estimateHook, when non-nil, runs inside the estimate handler after
 	// the session lease is taken and the panic recovery is armed.
 	// In-package test seam for the panic-recovery path, which has no
@@ -67,6 +109,30 @@ func (c Config) withDefaults() Config {
 	if c.Recorder == nil {
 		c.Recorder = obs.New()
 	}
+	if c.RateLimitMaxClients == 0 {
+		c.RateLimitMaxClients = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerMaxEntries == 0 {
+		c.BreakerMaxEntries = 1024
+	}
+	if c.BrownoutQueueFrac == 0 {
+		c.BrownoutQueueFrac = 0.75
+	}
+	if c.BrownoutAfter == 0 {
+		c.BrownoutAfter = 2 * time.Second
+	}
+	if c.BrownoutRecover == 0 {
+		c.BrownoutRecover = 2 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	return c
 }
 
@@ -90,11 +156,18 @@ type Server struct {
 	// counter makes reject-after-drain-start exact.
 	mu          sync.Mutex
 	inflight    int
+	executing   int // admitted requests holding an execution slot
 	draining    bool
 	drainClosed bool
 	drained     chan struct{}
 
 	lat *latencyTracker
+
+	// Overload-resilience subsystems; each is nil when disabled and
+	// nil-safe to call, so the hot path carries no conditionals.
+	limiter  *rateLimiter
+	breaker  *breaker
+	brownout *brownout
 }
 
 // NewServer builds a server with a fresh session pool.
@@ -108,6 +181,12 @@ func NewServer(cfg Config) *Server {
 		drained: make(chan struct{}),
 		lat:     newLatencyTracker(),
 	}
+	s.limiter = newRateLimiter(cfg.RateLimitPerSec, cfg.RateLimitBurst, cfg.RateLimitMaxClients,
+		cfg.now, cfg.Recorder.Counter("serve_rate_limited"))
+	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxEntries,
+		cfg.now, cfg.Recorder)
+	s.brownout = newBrownout(cfg.BrownoutQueueFrac, cfg.QueueDepth, cfg.BrownoutAfter,
+		cfg.BrownoutRecover, cfg.now, cfg.Recorder)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/estimate", s.timed("estimate", s.handleEstimate))
 	s.mux.HandleFunc("/v1/align", s.timed("align", s.handleAlign))
@@ -164,6 +243,9 @@ const (
 	errClientGone       errKind = "client_gone"
 	errEstimationFailed errKind = "estimation_failed"
 	errInternalPanic    errKind = "internal_panic"
+	errShed             errKind = "shed"
+	errRateLimited      errKind = "rate_limited"
+	errCircuitOpen      errKind = "circuit_open"
 )
 
 // statusClientClosedRequest is the de-facto (nginx) status for a client
@@ -175,8 +257,10 @@ func (k errKind) status() int {
 	switch k {
 	case errBadRequest:
 		return http.StatusBadRequest
-	case errQueueFull, errDraining:
+	case errQueueFull, errDraining, errShed, errCircuitOpen:
 		return http.StatusServiceUnavailable
+	case errRateLimited:
+		return http.StatusTooManyRequests
 	case errDeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case errClientGone:
@@ -213,10 +297,19 @@ type errorBody struct {
 }
 
 // writeError emits the typed JSON error envelope, attaching Retry-After
-// to the backpressure rejections.
+// to the backpressure rejections. Backpressure hints are dynamic: the
+// current queue's expected drain time at the observed median service
+// rate, floored at the static RetryAfterSeconds flag (so an unobserved
+// server behaves exactly as before). Rate-limit and circuit-open
+// rejections carry their own hint, set by the caller before this call.
 func (s *Server) writeError(w http.ResponseWriter, kind errKind, detail string, fb *fallbackInfo) {
-	if kind == errQueueFull || kind == errDraining {
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	switch kind {
+	case errQueueFull, errDraining, errShed:
+		w.Header().Set("Retry-After", strconv.Itoa(s.dynamicRetryAfter()))
+	case errRateLimited, errCircuitOpen:
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(kind.status())
@@ -246,7 +339,15 @@ func writeJSON(w http.ResponseWriter, body any) {
 // admit passes a request through the bounded admission queue. On
 // success the returned release func must be called exactly once. On
 // rejection it returns the error kind to report.
-func (s *Server) admit(ctx context.Context) (release func(), kind errKind, detail string) {
+//
+// Between the capacity check and the slot wait sits the deadline-aware
+// shed test (CoDel-style): a request whose remaining deadline cannot
+// outlast its expected queue wait — queue position times the observed
+// median service time per slot — is rejected immediately instead of
+// occupying a queue slot only to time out. Cheaper for the server and
+// more honest to the client, which gets a Retry-After it can act on
+// now rather than a 504 later.
+func (s *Server) admit(ctx context.Context, endpoint string) (release func(), kind errKind, detail string) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -258,7 +359,21 @@ func (s *Server) admit(ctx context.Context) (release func(), kind errKind, detai
 			fmt.Sprintf("admission queue full (%d executing + %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth)
 	}
 	s.inflight++
+	queued := s.inflight - s.cfg.MaxConcurrent
 	s.mu.Unlock()
+	if queued < 0 {
+		queued = 0
+	}
+	s.brownout.sample(queued)
+
+	if wait := s.expectedQueueWait(endpoint, queued); wait > 0 {
+		if dl, ok := ctx.Deadline(); ok && dl.Sub(s.cfg.now()) < wait {
+			s.requestDone()
+			s.rec.Counter("serve_sheds").Add(1)
+			return nil, errShed,
+				fmt.Sprintf("expected queue wait %v exceeds remaining deadline", wait.Round(time.Millisecond))
+		}
+	}
 
 	select {
 	case s.sem <- struct{}{}:
@@ -269,22 +384,36 @@ func (s *Server) admit(ctx context.Context) (release func(), kind errKind, detai
 		}
 		return nil, errDeadlineExceeded, "deadline expired while queued"
 	}
+	s.mu.Lock()
+	s.executing++
+	s.mu.Unlock()
 	return func() {
+		s.mu.Lock()
+		s.executing--
+		s.mu.Unlock()
 		<-s.sem
 		s.requestDone()
 	}, "", ""
 }
 
 // requestDone retires one admitted request and completes a pending
-// drain when it was the last.
+// drain when it was the last. Completion also feeds the brown-out
+// controller, so pressure relief is observed without any background
+// timer: the sample after a quiet recovery window restores full
+// quality.
 func (s *Server) requestDone() {
 	s.mu.Lock()
 	s.inflight--
+	queued := s.inflight - s.cfg.MaxConcurrent
 	if s.draining && s.inflight == 0 && !s.drainClosed {
 		s.drainClosed = true
 		close(s.drained)
 	}
 	s.mu.Unlock()
+	if queued < 0 {
+		queued = 0
+	}
+	s.brownout.sample(queued)
 }
 
 // requestContext derives the per-request deadline: the request's
@@ -315,6 +444,11 @@ func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if ok, retryAfter := s.limiter.allow(clientID(r)); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+			s.writeError(w, errRateLimited, "per-client rate limit exceeded", nil)
 			return
 		}
 		s.rec.Counter("serve_requests_" + name).Add(1)
@@ -353,26 +487,51 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // statszBody is the /statsz response.
 type statszBody struct {
-	Pool     PoolStats                 `json:"pool"`
-	Inflight int                       `json:"inflight"`
-	Draining bool                      `json:"draining"`
-	Latency  map[string]LatencySummary `json:"latency_ns"`
-	Counters map[string]int64          `json:"counters,omitempty"`
+	Pool     PoolStats `json:"pool"`
+	Inflight int       `json:"inflight"`
+	// Executing is how many admitted requests hold an execution slot;
+	// Queued is the remainder waiting for one. QueuePressure is
+	// Queued/QueueCapacity — the signal the brown-out controller watches.
+	Executing     int                       `json:"executing"`
+	Queued        int                       `json:"queued"`
+	QueueCapacity int                       `json:"queue_capacity"`
+	QueuePressure float64                   `json:"queue_pressure"`
+	Draining      bool                      `json:"draining"`
+	Degraded      bool                      `json:"degraded"`
+	Breakers      map[string]string         `json:"breakers,omitempty"`
+	Latency       map[string]LatencySummary `json:"latency_ns"`
+	Counters      map[string]int64          `json:"counters,omitempty"`
 }
 
-// handleStatsz reports pool, admission, and latency statistics.
+// handleStatsz reports pool, admission, resilience, and latency
+// statistics.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	inflight := s.inflight
+	executing := s.executing
 	draining := s.draining
 	s.mu.Unlock()
+	queued := inflight - executing
+	if queued < 0 {
+		queued = 0
+	}
+	pressure := 0.0
+	if s.cfg.QueueDepth > 0 {
+		pressure = float64(queued) / float64(s.cfg.QueueDepth)
+	}
 	snap := s.rec.Snapshot()
 	writeJSON(w, statszBody{
-		Pool:     s.pool.Stats(),
-		Inflight: inflight,
-		Draining: draining,
-		Latency:  s.lat.summaries(),
-		Counters: snap.Counters,
+		Pool:          s.pool.Stats(),
+		Inflight:      inflight,
+		Executing:     executing,
+		Queued:        queued,
+		QueueCapacity: s.cfg.QueueDepth,
+		QueuePressure: pressure,
+		Draining:      draining,
+		Degraded:      s.brownout.Degraded(),
+		Breakers:      s.breaker.States(),
+		Latency:       s.lat.summaries(),
+		Counters:      snap.Counters,
 	})
 }
 
@@ -393,12 +552,16 @@ type latencyTracker struct {
 }
 
 // latencyRing is a fixed-capacity overwrite-oldest sample buffer plus a
-// coarse histogram (0–100ms) for shape inspection.
+// coarse histogram (0–100ms) for shape inspection. p50cache holds the
+// median digested at sample count p50at, refreshed every
+// p50RecomputeEvery samples for the admission-time shed test.
 type latencyRing struct {
-	samples []float64
-	next    int
-	total   int
-	hist    *metrics.Histogram
+	samples  []float64
+	next     int
+	total    int
+	hist     *metrics.Histogram
+	p50cache float64
+	p50at    int
 }
 
 const latencyRingCap = 4096

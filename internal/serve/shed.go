@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"mmwalign/internal/metrics"
+	"mmwalign/internal/obs"
+)
+
+// p50RecomputeEvery bounds how often the median is re-digested from the
+// latency ring: the cached value is reused until this many new samples
+// arrive, so admission-time shedding costs O(1) amortized instead of a
+// 4096-sample sort per request.
+const p50RecomputeEvery = 32
+
+// p50NS returns the endpoint's (cached) median service time in
+// nanoseconds, 0 when the endpoint has no samples yet — which disables
+// shedding until the server has actually observed itself, the property
+// that makes the shedding layer inert on a cold or idle server.
+func (t *latencyTracker) p50NS(endpoint string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.byEP[endpoint]
+	if !ok {
+		return 0
+	}
+	return t.p50Locked(r)
+}
+
+// maxP50NS returns the largest per-endpoint median — the conservative
+// service-time estimate used for Retry-After hints, which are not tied
+// to one endpoint.
+func (t *latencyTracker) maxP50NS() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var top float64
+	for _, r := range t.byEP {
+		if v := t.p50Locked(r); v > top {
+			top = v
+		}
+	}
+	return top
+}
+
+// p50Locked serves the ring's cached median, re-digesting when enough
+// new samples have arrived. Caller holds t.mu.
+func (t *latencyTracker) p50Locked(r *latencyRing) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if r.p50at == 0 || r.total-r.p50at >= p50RecomputeEvery {
+		xs := append([]float64(nil), r.samples...)
+		r.p50cache = metrics.Percentile(xs, 50)
+		r.p50at = r.total
+	}
+	return r.p50cache
+}
+
+// expectedQueueWait estimates how long a request admitted at queue
+// position queued will wait for an execution slot: queued requests
+// drain at one per median service time per slot. Returns 0 (no
+// estimate, so no shedding) until the endpoint has observed latency.
+func (s *Server) expectedQueueWait(endpoint string, queued int) time.Duration {
+	if queued <= 0 {
+		return 0
+	}
+	p50 := s.lat.p50NS(endpoint)
+	if p50 <= 0 {
+		return 0
+	}
+	slots := s.cfg.MaxConcurrent
+	if slots < 1 {
+		slots = 1
+	}
+	return time.Duration(float64(queued) * p50 / float64(slots))
+}
+
+// dynamicRetryAfter computes the Retry-After hint for backpressure
+// rejections from the live queue estimate: the time for the current
+// queue (plus the rejected request itself) to drain at the observed
+// median service rate, floored at the configured static hint and at
+// one second. With no latency observed yet it degrades to the static
+// flag — exactly the pre-resilience behaviour.
+func (s *Server) dynamicRetryAfter() int {
+	s.mu.Lock()
+	queued := s.inflight - s.cfg.MaxConcurrent
+	s.mu.Unlock()
+	if queued < 0 {
+		queued = 0
+	}
+	slots := s.cfg.MaxConcurrent
+	if slots < 1 {
+		slots = 1
+	}
+	secs := int(math.Ceil(float64(queued+1) * s.lat.maxP50NS() / float64(slots) / 1e9))
+	if secs < s.cfg.RetryAfterSeconds {
+		secs = s.cfg.RetryAfterSeconds
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// brownout is the degraded-mode controller: when queue pressure stays
+// at or above the enter threshold for longer than the after window,
+// /v1/align transparently downgrades to the cheap scan-order strategy
+// (marked "degraded": true) instead of 503ing; when pressure stays at
+// or below the exit threshold for the recover window, full estimation
+// resumes. Thresholds are hysteretic (exit < enter) so the mode cannot
+// flap at the boundary. Pressure is sampled at every admission and
+// completion, so recovery needs no timer goroutine — the next request
+// after a quiet recover window restores full quality. A nil brownout
+// (disabled) never degrades.
+type brownout struct {
+	mu      sync.Mutex
+	enter   int // queued ≥ enter arms the degrade timer
+	exit    int // queued ≤ exit arms the recovery timer
+	after   time.Duration
+	recover time.Duration
+	now     func() time.Time
+
+	degraded   bool
+	aboveSince time.Time
+	belowSince time.Time
+
+	enters *obs.Counter
+	exits  *obs.Counter
+}
+
+// newBrownout builds the controller for a queue of depth queueDepth
+// entering degraded mode at frac occupancy. frac < 0 disables.
+func newBrownout(frac float64, queueDepth int, after, recoverAfter time.Duration, now func() time.Time, rec *obs.Recorder) *brownout {
+	if frac < 0 || queueDepth <= 0 {
+		return nil
+	}
+	enter := int(math.Round(frac * float64(queueDepth)))
+	if enter < 1 {
+		enter = 1
+	}
+	return &brownout{
+		enter:   enter,
+		exit:    enter / 2,
+		after:   after,
+		recover: recoverAfter,
+		now:     now,
+		enters:  rec.Counter("serve_brownout_enters"),
+		exits:   rec.Counter("serve_brownout_exits"),
+	}
+}
+
+// sample feeds one queue-occupancy observation into the controller.
+func (b *brownout) sample(queued int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch {
+	case queued >= b.enter:
+		b.belowSince = time.Time{}
+		if b.aboveSince.IsZero() {
+			b.aboveSince = now
+		} else if !b.degraded && now.Sub(b.aboveSince) >= b.after {
+			b.degraded = true
+			b.enters.Add(1)
+		}
+	case queued <= b.exit:
+		b.aboveSince = time.Time{}
+		if !b.degraded {
+			return
+		}
+		if b.belowSince.IsZero() {
+			b.belowSince = now
+		} else if now.Sub(b.belowSince) >= b.recover {
+			b.degraded = false
+			b.belowSince = time.Time{}
+			b.exits.Add(1)
+		}
+	default:
+		// Hysteresis band: neither timer advances.
+		b.aboveSince = time.Time{}
+		b.belowSince = time.Time{}
+	}
+}
+
+// Degraded reports whether brown-out mode is active.
+func (b *brownout) Degraded() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.degraded
+}

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmwalign/internal/cmat"
+	"mmwalign/internal/meas"
+	"mmwalign/internal/metrics"
+)
+
+// holdGate blocks every /v1/align measurement while held — unlike
+// blockingGate (first measurement only), it pins any number of
+// concurrent requests in flight, which is how the soak tests build
+// sustained queue pressure deterministically.
+type holdGate struct {
+	mu sync.Mutex
+	ch chan struct{} // nil: pass-through
+}
+
+func (g *holdGate) hold() {
+	g.mu.Lock()
+	g.ch = make(chan struct{})
+	g.mu.Unlock()
+}
+
+func (g *holdGate) release() {
+	g.mu.Lock()
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
+	g.mu.Unlock()
+}
+
+func (g *holdGate) wrap(p meas.Prober) meas.Prober {
+	return &holdProber{Prober: p, g: g}
+}
+
+type holdProber struct {
+	meas.Prober
+	g *holdGate
+}
+
+func (p *holdProber) Measure(txBeam, rxBeam int, u, v cmat.Vector) meas.Measurement {
+	p.g.mu.Lock()
+	ch := p.g.ch
+	p.g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	return p.Prober.Measure(txBeam, rxBeam, u, v)
+}
+
+// proposedBody is a small full-estimation alignment run (the proposed
+// scheme, not scan), deterministic for the seed — the request shape the
+// brown-out test needs, since only non-scan schemes degrade.
+func proposedBody(seed int64) []byte {
+	b, err := json.Marshal(map[string]any{
+		"scheme":     "proposed",
+		"budget":     6,
+		"seed":       seed,
+		"j":          2,
+		"window":     8,
+		"tx_panel_x": 2, "tx_panel_z": 1, "tx_beams_az": 2, "tx_beams_el": 1,
+		"rx_panel_x": 2, "rx_panel_z": 2, "rx_beams_az": 2, "rx_beams_el": 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// waitInflight polls until the server's admitted-request count reaches
+// n (the deterministic "requests are queued now" barrier).
+func waitInflight(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		inflight := srv.inflight
+		srv.mu.Unlock()
+		if inflight >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight never reached %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBrownoutDegradeAndRecover is the brown-out contract end to end:
+// sustained queue pressure flips /v1/align to transparent scan-order
+// responses marked "degraded": true instead of 503s, and after a quiet
+// recovery window the same request produces a full-quality body
+// byte-identical to the pre-overload baseline.
+func TestBrownoutDegradeAndRecover(t *testing.T) {
+	clk := newFakeClock()
+	gate := &holdGate{}
+	srv := NewServer(Config{
+		MaxConcurrent:     1,
+		QueueDepth:        4,
+		DefaultTimeout:    time.Minute,
+		BrownoutQueueFrac: 0.5, // enter at 2 queued, exit at 1
+		BrownoutAfter:     100 * time.Millisecond,
+		BrownoutRecover:   100 * time.Millisecond,
+		now:               clk.Now,
+		WrapProber:        gate.wrap,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Full-quality baseline before any pressure.
+	status, _, want := post(t, ts.URL+"/v1/align", proposedBody(42))
+	if status != http.StatusOK {
+		t.Fatalf("baseline status = %d, body %s", status, want)
+	}
+	if strings.Contains(string(want), `"degraded"`) {
+		t.Fatalf("baseline body carries a degraded marker: %s", want)
+	}
+
+	// Build sustained pressure: one executing + two queued, held at the
+	// measurement gate.
+	gate.hold()
+	heldDone := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func(seed int64) {
+			s, _, _ := post(t, ts.URL+"/v1/align", alignBody(seed))
+			heldDone <- s
+		}(int64(i + 1))
+	}
+	waitInflight(t, srv, 3)
+	clk.Advance(200 * time.Millisecond) // exceed BrownoutAfter
+
+	// The next admission observes the sustained pressure, flips
+	// brown-out, queues behind the held requests, and — once the gate
+	// opens — completes as a degraded scan-order response.
+	degradedDone := make(chan []byte, 1)
+	go func() {
+		s, _, body := post(t, ts.URL+"/v1/align", proposedBody(42))
+		if s != http.StatusOK {
+			t.Errorf("degraded request status = %d, body %s", s, body)
+		}
+		degradedDone <- body
+	}()
+	waitInflight(t, srv, 4)
+	if !srv.brownout.Degraded() {
+		t.Fatal("brown-out not active after sustained queue pressure")
+	}
+
+	gate.release()
+	for i := 0; i < 3; i++ {
+		if s := <-heldDone; s != http.StatusOK {
+			t.Errorf("held request %d finished with %d, want 200", i, s)
+		}
+	}
+	degradedBody := <-degradedDone
+	var deg struct {
+		Scheme   string `json:"scheme"`
+		Degraded bool   `json:"degraded"`
+	}
+	if err := json.Unmarshal(degradedBody, &deg); err != nil {
+		t.Fatalf("decoding degraded body %s: %v", degradedBody, err)
+	}
+	if !deg.Degraded || deg.Scheme != "scan" {
+		t.Fatalf("degraded response = scheme %q degraded %t, want scan-order marked degraded; body %s",
+			deg.Scheme, deg.Degraded, degradedBody)
+	}
+	if got := srv.rec.Counter("serve_degraded_responses").Value(); got != 1 {
+		t.Errorf("serve_degraded_responses = %d, want 1", got)
+	}
+
+	// A quiet recovery window restores full quality: the same request
+	// must now produce a body byte-identical to the baseline.
+	clk.Advance(200 * time.Millisecond) // exceed BrownoutRecover
+	status, _, got := post(t, ts.URL+"/v1/align", proposedBody(42))
+	if status != http.StatusOK {
+		t.Fatalf("post-recovery status = %d, body %s", status, got)
+	}
+	if srv.brownout.Degraded() {
+		t.Error("brown-out still active after quiet recovery window")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-recovery body differs from pre-overload baseline:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestOverloadSoakBoundedTail drives 4x the server's admission capacity
+// and pins the two overload invariants: every response (success or
+// typed rejection) lands well under the request deadline — overload
+// degrades into fast feedback, not slow timeouts — and the goroutine
+// count returns to baseline after the burst and drain (no leaked
+// request goroutines).
+func TestOverloadSoakBoundedTail(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := NewServer(Config{
+		MaxConcurrent:  2,
+		QueueDepth:     2,
+		DefaultTimeout: 5 * time.Second,
+		// A small service-time floor so 16 workers actually overrun the
+		// 4-request admission window — a bare estimate finishes faster
+		// than the clients can queue up behind it.
+		estimateHook: func() { time.Sleep(10 * time.Millisecond) },
+	})
+	ts := httptest.NewServer(srv)
+	client := ts.Client()
+
+	const (
+		workers   = 16 // 4x the 2-executing + 2-queued admission window
+		perWorker = 8
+	)
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		served    int
+		rejected  int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/estimate", "application/json",
+					bytes.NewReader(estimateBody(id%4, 2)))
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				elapsed := float64(time.Since(start).Nanoseconds())
+				switch resp.StatusCode {
+				case http.StatusOK:
+					mu.Lock()
+					served++
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					kind := decodeErrorBody(t, body).Error.Kind
+					if kind != errQueueFull && kind != errShed {
+						t.Errorf("503 kind = %q, want queue_full or shed", kind)
+					}
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("503 without Retry-After")
+					}
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				default:
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+				}
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if served == 0 {
+		t.Error("overload served nothing; want progress under pressure")
+	}
+	if rejected == 0 {
+		t.Error("4x overload rejected nothing; want backpressure engaged")
+	}
+	// p99 bound: rejections are immediate and successes are bounded by
+	// two queue slots of millisecond-scale estimates, so the tail must
+	// sit far below the 5s deadline even on a slow CI machine.
+	if p99 := metrics.Percentile(latencies, 99); p99 > 3e9 {
+		t.Errorf("p99 latency = %.0fms under overload, want < 3000ms",
+			p99/1e6)
+	}
+
+	// Drain and verify nothing leaked: no stuck request goroutines, no
+	// leased sessions.
+	ts.Close()
+	client.CloseIdleConnections()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain after overload: %v", err)
+	}
+	if active := srv.Pool().Stats().Active; active != 0 {
+		t.Errorf("active sessions after drain = %d, want 0", active)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across overload: %d before, %d after", before, after)
+	}
+}
